@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Minimal terminal plotting, so `onionbench -plot` renders Figures 8–10
+// directly in the console, matching the paper's visual presentation
+// (shape, ordering, crossovers) without external tooling.
+
+// series is one named curve.
+type series struct {
+	name string
+	xs   []float64
+	ys   []float64
+}
+
+// asciiPlot renders the curves as a width×height character grid with a
+// y-axis label column and an x-axis legend. Each series gets a distinct
+// glyph; overlapping cells show the later series.
+func asciiPlot(title, xlabel, ylabel string, curves []series, width, height int, logY bool) string {
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	var minX, maxX, minY, maxY float64
+	first := true
+	for _, s := range curves {
+		for i := range s.xs {
+			y := s.ys[i]
+			if logY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if first {
+				minX, maxX = s.xs[i], s.xs[i]
+				minY, maxY = y, y
+				first = false
+				continue
+			}
+			minX = math.Min(minX, s.xs[i])
+			maxX = math.Max(maxX, s.xs[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if first || maxX == minX {
+		return title + ": (no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range curves {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.xs {
+			y := s.ys[i]
+			if logY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((s.xs[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = g
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yv := func(row int) float64 {
+		v := minY + (maxY-minY)*float64(height-1-row)/float64(height-1)
+		if logY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%10.4g |%s|\n", yv(r), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*g%*g\n", "", width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&b, "%10s  x: %s   y: %s%s\n", "", xlabel, ylabel, map[bool]string{true: " (log scale)", false: ""}[logY])
+	for si, s := range curves {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", glyphs[si%len(glyphs)], s.name)
+	}
+	return b.String()
+}
+
+// histogramPlot renders a layer-size histogram (Figure 8) with one bar
+// row per bucket of layers.
+func histogramPlot(title string, sizes []int, total int, rows, width int) string {
+	if len(sizes) == 0 {
+		return title + ": (no layers)\n"
+	}
+	per := (len(sizes) + rows - 1) / rows
+	type bucket struct {
+		from, to int
+		mass     float64
+	}
+	var buckets []bucket
+	for start := 0; start < len(sizes); start += per {
+		end := start + per
+		if end > len(sizes) {
+			end = len(sizes)
+		}
+		m := 0
+		for _, s := range sizes[start:end] {
+			m += s
+		}
+		buckets = append(buckets, bucket{start + 1, end, 100 * float64(m) / float64(total)})
+	}
+	maxM := 0.0
+	for _, bk := range buckets {
+		maxM = math.Max(maxM, bk.mass)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, bk := range buckets {
+		bar := 0
+		if maxM > 0 {
+			bar = int(bk.mass / maxM * float64(width))
+		}
+		fmt.Fprintf(&b, "  layers %4d-%-4d %6.2f%% |%s\n", bk.from, bk.to, bk.mass, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// sortSeriesByName keeps legend order deterministic.
+func sortSeriesByName(curves []series) {
+	sort.Slice(curves, func(a, b int) bool { return curves[a].name < curves[b].name })
+}

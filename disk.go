@@ -1,0 +1,86 @@
+package onion
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// DiskIndex is a read-only Onion index queried directly from its paged
+// flat file, the way the paper's query processor operates: one seek per
+// accessed layer plus sequential page reads. It tracks the physical
+// I/O it performs.
+type DiskIndex struct {
+	di     *storage.DiskIndex
+	closer io.Closer
+}
+
+// IOStats counts physical accesses: seeks (random) and pages read
+// (sequential). Cost applies the paper's Eq. 2 weighting, where one
+// seek costs as much as `randomWeight` page reads (the paper uses 8).
+type IOStats = storage.IOStats
+
+// OpenDisk opens an index file written by Index.Save.
+func OpenDisk(path string) (*DiskIndex, error) {
+	di, closer, err := storage.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{di: di, closer: closer}, nil
+}
+
+// Close releases the underlying file.
+func (d *DiskIndex) Close() error { return d.closer.Close() }
+
+// TopN answers a top-n query from disk, returning results, evaluation
+// statistics, and the physical I/O performed by this query.
+func (d *DiskIndex) TopN(weights []float64, n int) ([]Result, QueryStats, IOStats, error) {
+	return d.di.TopN(weights, n)
+}
+
+// Search starts a progressive query over the on-disk layout. Layers are
+// read lazily: consuming only the first few results touches only the
+// outermost pages.
+func (d *DiskIndex) Search(weights []float64, limit int) (*DiskStream, error) {
+	s, err := core.NewSourceSearcher(d.di, weights, limit)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskStream{s: s}, nil
+}
+
+// Dim returns the number of attributes.
+func (d *DiskIndex) Dim() int { return d.di.Dim() }
+
+// Len returns the number of records.
+func (d *DiskIndex) Len() int { return d.di.Len() }
+
+// NumLayers returns the number of layers.
+func (d *DiskIndex) NumLayers() int { return d.di.NumLayers() }
+
+// ReadLayer reads the records of 0-based layer k (one seek plus the
+// layer's sequential pages). Useful for exporting or rebuilding an
+// index from its file.
+func (d *DiskIndex) ReadLayer(k int) ([]Record, error) { return d.di.ReadLayer(k) }
+
+// IO returns the cumulative I/O counters since open (or the last
+// ResetIO).
+func (d *DiskIndex) IO() IOStats { return d.di.Stats() }
+
+// ResetIO zeroes the I/O counters.
+func (d *DiskIndex) ResetIO() { d.di.ResetStats() }
+
+// DiskStream is the progressive iterator over an on-disk index.
+type DiskStream struct {
+	s *core.SourceSearcher
+}
+
+// Next returns the next result in rank order.
+func (st *DiskStream) Next() (Result, bool) { return st.s.Next() }
+
+// Stats returns evaluation statistics so far.
+func (st *DiskStream) Stats() QueryStats { return st.s.Stats() }
+
+// Err reports a layer-read failure, if one stopped the stream.
+func (st *DiskStream) Err() error { return st.s.Err() }

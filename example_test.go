@@ -1,0 +1,136 @@
+package onion_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The records of this tiny running example: four colleges scored on
+// reputation and affordability.
+func exampleRecords() []onion.Record {
+	return []onion.Record{
+		{ID: 1, Vector: []float64{9.0, 2.0}}, // elite, expensive
+		{ID: 2, Vector: []float64{7.0, 7.0}}, // balanced
+		{ID: 3, Vector: []float64{2.0, 9.0}}, // cheap, unknown
+		{ID: 4, Vector: []float64{6.0, 6.0}}, // inside the hull of 1-3
+	}
+}
+
+func ExampleBuild() {
+	ix, err := onion.Build(exampleRecords(), onion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("records:", ix.Len())
+	fmt.Println("layers:", ix.NumLayers())
+	// Output:
+	// records: 4
+	// layers: 2
+}
+
+func ExampleIndex_TopN() {
+	ix, err := onion.Build(exampleRecords(), onion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A reputation-focused weighting, chosen at query time.
+	res, err := ix.TopN([]float64{0.8, 0.2}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range res {
+		fmt.Printf("%d. record %d (score %.1f)\n", i+1, r.ID, r.Score)
+	}
+	// Output:
+	// 1. record 1 (score 7.6)
+	// 2. record 2 (score 7.0)
+}
+
+func ExampleIndex_Minimize() {
+	ix, err := onion.Build(exampleRecords(), onion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ix.Minimize([]float64{0.2, 0.8}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst for affordability-focused weights: record %d (score %.1f)\n", res[0].ID, res[0].Score)
+	// Output:
+	// worst for affordability-focused weights: record 1 (score 3.4)
+}
+
+func ExampleIndex_Search() {
+	ix, err := onion.Build(exampleRecords(), onion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Progressive retrieval: results arrive strictly in rank order.
+	stream := ix.Search([]float64{0.5, 0.5}, 3)
+	for {
+		r, ok := stream.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("record %d scores %.1f\n", r.ID, r.Score)
+	}
+	// Output:
+	// record 2 scores 7.0
+	// record 4 scores 6.0
+	// record 1 scores 5.5
+}
+
+func ExampleIndex_Insert() {
+	ix, err := onion.Build(exampleRecords(), onion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A new record that dominates everything joins the outermost layer.
+	if err := ix.Insert(onion.Record{ID: 5, Vector: []float64{10, 10}}); err != nil {
+		log.Fatal(err)
+	}
+	layer, _ := ix.LayerOf(5)
+	fmt.Println("new record in layer:", layer+1)
+	res, _ := ix.TopN([]float64{1, 1}, 1)
+	fmt.Println("new top-1:", res[0].ID)
+	// Output:
+	// new record in layer: 1
+	// new top-1: 5
+}
+
+func ExampleBuildHierarchy() {
+	groups := map[string][]onion.Record{
+		"east": {
+			{ID: 1, Vector: []float64{9, 1}},
+			{ID: 2, Vector: []float64{8, 2}},
+			{ID: 3, Vector: []float64{7, 1}},
+		},
+		"west": {
+			{ID: 4, Vector: []float64{1, 9}},
+			{ID: 5, Vector: []float64{2, 8}},
+			{ID: 6, Vector: []float64{1, 7}},
+		},
+	}
+	h, err := onion.BuildHierarchy(groups, onion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Global query: the parent Onion routes to the right cluster.
+	res, stats, err := h.TopN([]float64{1, 0.1}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top record %d, searched %d of %d clusters\n",
+		res[0].ID, stats.ChildrenQueried, len(h.Labels()))
+	// Local query: constrained to one cluster.
+	local, _, err := h.TopNWhere([]float64{1, 0.1}, 1, func(l string) bool { return l == "west" })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("best in the west:", local[0].ID)
+	// Output:
+	// top record 1, searched 1 of 2 clusters
+	// best in the west: 5
+}

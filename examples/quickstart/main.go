@@ -1,0 +1,61 @@
+// Quickstart: build an Onion index over random records and run top-N
+// linear optimization queries with weights chosen at query time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 50,000 records with 3 numerical attributes.
+	const n, d = 50_000, 3
+	pts := workload.Points(workload.Gaussian, n, d, 1)
+	records := make([]onion.Record, n)
+	for i, p := range pts {
+		records[i] = onion.Record{ID: uint64(i + 1), Vector: p}
+	}
+
+	// Build once (the expensive step: layered convex-hull peeling).
+	ix, err := onion.Build(records, onion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d records into %d onion layers\n\n", ix.Len(), ix.NumLayers())
+
+	// Query many times with weights known only now.
+	weights := []float64{0.5, 0.3, 0.2}
+	top, stats, err := ix.TopNStats(weights, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-5 for weights %v:\n", weights)
+	for i, r := range top {
+		fmt.Printf("  %d. record %-6d score %.4f (layer %d)\n", i+1, r.ID, r.Score, r.Layer+1)
+	}
+	fmt.Printf("evaluated %d of %d records (%.3f%%) in %d layers\n\n",
+		stats.RecordsEvaluated, n, 100*float64(stats.RecordsEvaluated)/n, stats.LayersAccessed)
+
+	// Minimization is the same index, negated weights.
+	bottom, err := ix.Minimize(weights, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bottom-3 (minimization):")
+	for i, r := range bottom {
+		fmt.Printf("  %d. record %-6d score %.4f\n", i+1, r.ID, r.Score)
+	}
+
+	// Maintenance: a new dominant record immediately ranks first.
+	if err := ix.Insert(onion.Record{ID: 999_999, Vector: []float64{9, 9, 9}}); err != nil {
+		log.Fatal(err)
+	}
+	top1, err := ix.TopN(weights, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter inserting record 999999: top-1 = record %d (score %.4f)\n", top1[0].ID, top1[0].Score)
+}

@@ -1,0 +1,75 @@
+package onion
+
+import (
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+)
+
+// Hierarchy is a two-level Onion index (paper Section 4): one child
+// Onion per cluster (categorical value, region, …) plus a parent Onion
+// built from only the outermost layer of every child. Local queries
+// constrained to clusters hit the right children directly; global
+// queries use the parent to identify which children can possibly
+// contribute and search only those. Both are exact.
+type Hierarchy struct {
+	h *hierarchy.Hierarchy
+}
+
+// HierarchyStats aggregates parent and child work for one query.
+type HierarchyStats = hierarchy.Stats
+
+// BuildHierarchy constructs the two-level index from labeled record
+// groups. Record IDs must be unique across all groups.
+func BuildHierarchy(groups map[string][]Record, opt Options) (*Hierarchy, error) {
+	h, err := hierarchy.Build(groups, core.Options{
+		Tol:       opt.Tol,
+		MaxLayers: opt.MaxLayers,
+		Seed:      opt.Seed,
+		Progress:  opt.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{h: h}, nil
+}
+
+// TopN answers a global query via parent-Onion pruning.
+func (h *Hierarchy) TopN(weights []float64, n int) ([]Result, HierarchyStats, error) {
+	return h.h.TopN(weights, n)
+}
+
+// TopNWhere answers a query constrained to the clusters whose label
+// satisfies pred — the "local query" case a single flat Onion handles
+// poorly.
+func (h *Hierarchy) TopNWhere(weights []float64, n int, pred func(label string) bool) ([]Result, HierarchyStats, error) {
+	return h.h.TopNWhere(weights, n, pred)
+}
+
+// TopNExhaustive searches every child and merges; it exists as the
+// baseline the parent-pruned TopN is compared against.
+func (h *Hierarchy) TopNExhaustive(weights []float64, n int) ([]Result, HierarchyStats, error) {
+	return h.h.TopNExhaustive(weights, n)
+}
+
+// Save persists the hierarchy into a directory: one paged index file
+// per child plus a manifest. The parent is derived data and is rebuilt
+// on load.
+func (h *Hierarchy) Save(dir string) error { return h.h.Save(dir) }
+
+// LoadHierarchy reads a hierarchy saved with Save.
+func LoadHierarchy(dir string) (*Hierarchy, error) {
+	hh, err := hierarchy.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{h: hh}, nil
+}
+
+// Labels returns the cluster labels in sorted order.
+func (h *Hierarchy) Labels() []string { return h.h.Labels() }
+
+// Len returns the total record count across clusters.
+func (h *Hierarchy) Len() int { return h.h.Len() }
+
+// Dim returns the attribute dimensionality.
+func (h *Hierarchy) Dim() int { return h.h.Dim() }

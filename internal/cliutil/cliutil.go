@@ -1,0 +1,102 @@
+// Package cliutil holds the input-parsing helpers shared by the
+// command-line tools (onionctl, oniongen, onionbench), factored out so
+// they are unit-testable.
+package cliutil
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ParseWeights parses a comma-separated weight vector ("0.4,0.3,0.3")
+// and validates its dimension.
+func ParseWeights(s string, dim int) ([]float64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("cliutil: empty weight vector")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != dim {
+		return nil, fmt.Errorf("cliutil: index has %d attributes, got %d weights", dim, len(parts))
+	}
+	w := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad weight %q: %v", p, err)
+		}
+		w[i] = v
+	}
+	return w, nil
+}
+
+// ReadRecords parses CSV rows of the form id,x1,…,xd. A trailing
+// non-numeric column is treated as a label (as emitted by oniongen
+// -dist clustered); labels[i] is "" when the row had none. All rows
+// must agree on dimensionality.
+func ReadRecords(r io.Reader, name string) (recs []core.Record, labels []string, err error) {
+	rd := csv.NewReader(r)
+	rd.ReuseRecord = true
+	line := 0
+	dim := -1
+	for {
+		row, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		line++
+		if len(row) < 2 {
+			return nil, nil, fmt.Errorf("%s:%d: need id plus at least one attribute", name, line)
+		}
+		id, err := strconv.ParseUint(strings.TrimSpace(row[0]), 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: bad id %q: %v", name, line, row[0], err)
+		}
+		cols := row[1:]
+		label := ""
+		if _, ferr := strconv.ParseFloat(strings.TrimSpace(cols[len(cols)-1]), 64); ferr != nil && len(cols) > 1 {
+			label = strings.TrimSpace(cols[len(cols)-1])
+			cols = cols[:len(cols)-1]
+		}
+		if dim < 0 {
+			dim = len(cols)
+		} else if len(cols) != dim {
+			return nil, nil, fmt.Errorf("%s:%d: %d attributes, want %d", name, line, len(cols), dim)
+		}
+		vec := make([]float64, len(cols))
+		for j, c := range cols {
+			v, err := strconv.ParseFloat(strings.TrimSpace(c), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: bad attribute %q: %v", name, line, c, err)
+			}
+			vec[j] = v
+		}
+		recs = append(recs, core.Record{ID: id, Vector: vec})
+		labels = append(labels, label)
+	}
+	if len(recs) == 0 {
+		return nil, nil, fmt.Errorf("%s: no records", name)
+	}
+	return recs, labels, nil
+}
+
+// GroupByLabel splits records into the per-label groups BuildHierarchy
+// expects. Records with an empty label go under defaultLabel.
+func GroupByLabel(recs []core.Record, labels []string, defaultLabel string) map[string][]core.Record {
+	groups := make(map[string][]core.Record)
+	for i, r := range recs {
+		l := labels[i]
+		if l == "" {
+			l = defaultLabel
+		}
+		groups[l] = append(groups[l], r)
+	}
+	return groups
+}

@@ -1,0 +1,86 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseWeights(t *testing.T) {
+	w, err := ParseWeights("0.4, 0.3,0.3", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 0.4 || w[1] != 0.3 || w[2] != 0.3 {
+		t.Errorf("w = %v", w)
+	}
+	if _, err := ParseWeights("", 2); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := ParseWeights("1,2", 3); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	if _, err := ParseWeights("1,x", 2); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if w, err := ParseWeights("-1,1e3", 2); err != nil || w[0] != -1 || w[1] != 1000 {
+		t.Errorf("scientific/negative: %v %v", w, err)
+	}
+}
+
+func TestReadRecords(t *testing.T) {
+	in := "1,0.5,2.5\n2,-1,3\n42,0,0\n"
+	recs, labels, err := ReadRecords(strings.NewReader(in), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].ID != 42 || recs[1].Vector[0] != -1 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	for _, l := range labels {
+		if l != "" {
+			t.Errorf("unexpected label %q", l)
+		}
+	}
+}
+
+func TestReadRecordsWithLabels(t *testing.T) {
+	in := "1,0.5,2.5,east\n2,-1,3,west\n3,1,1,east\n"
+	recs, labels, err := ReadRecords(strings.NewReader(in), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || len(recs[0].Vector) != 2 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if labels[0] != "east" || labels[1] != "west" {
+		t.Fatalf("labels = %v", labels)
+	}
+	groups := GroupByLabel(recs, labels, "other")
+	if len(groups["east"]) != 2 || len(groups["west"]) != 1 {
+		t.Errorf("groups: east=%d west=%d", len(groups["east"]), len(groups["west"]))
+	}
+}
+
+func TestReadRecordsErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"short row", "1\n"},
+		{"bad id", "x,1,2\n"},
+		{"bad attribute", "1,1,zzz,alpha\n1,1\n"}, // trailing label ok, but second row short
+		{"mixed dims", "1,1,2\n2,1,2,3\n"},
+		{"negative id", "-1,1,2\n"},
+	}
+	for _, c := range cases {
+		if _, _, err := ReadRecords(strings.NewReader(c.in), c.name); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestReadRecordsSingleAttributeNeverLabeled(t *testing.T) {
+	// With a single data column, a non-numeric value is an error, not a
+	// label (a record needs at least one attribute).
+	if _, _, err := ReadRecords(strings.NewReader("1,abc\n"), "t"); err == nil {
+		t.Error("lone non-numeric column accepted")
+	}
+}

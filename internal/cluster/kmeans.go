@@ -1,0 +1,172 @@
+// Package cluster provides the k-means partitioning the hierarchical
+// Onion index builds on. The paper assumes "data clustering is provided
+// by query analysis methods beyond the scope of this paper" (Section 4);
+// Lloyd's algorithm with k-means++ seeding is the standard stand-in.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Options configures KMeans.
+type Options struct {
+	// MaxIter bounds Lloyd iterations. Zero selects 100.
+	MaxIter int
+	// Seed makes the k-means++ initialization deterministic.
+	Seed int64
+	// Tol stops iterating once no centroid moves farther than Tol.
+	// Zero selects 1e-9.
+	Tol float64
+}
+
+// Result holds a clustering.
+type Result struct {
+	// Labels[i] is the cluster of point i, in [0,k).
+	Labels []int
+	// Centers are the final centroids.
+	Centers [][]float64
+	// Iterations actually performed.
+	Iterations int
+}
+
+// KMeans partitions pts into k clusters with Lloyd's algorithm seeded
+// by k-means++.
+func KMeans(pts [][]float64, k int, opt Options) (*Result, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("cluster: no points")
+	}
+	if k <= 0 || k > len(pts) {
+		return nil, errors.New("cluster: k out of range")
+	}
+	d := len(pts[0])
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 42))
+
+	centers := seedPlusPlus(pts, k, rng)
+	labels := make([]int, len(pts))
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, d)
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Assignment step.
+		for i, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if dd := geom.Dist2(p, ctr); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			labels[i] = best
+		}
+		// Update step.
+		for c := range centers {
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, p := range pts {
+			c := labels[i]
+			counts[c]++
+			geom.Add(sums[c], sums[c], p)
+		}
+		moved := 0.0
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from
+				// its center — the standard fix for collapsed clusters.
+				far, farD := 0, -1.0
+				for i, p := range pts {
+					if dd := geom.Dist2(p, centers[labels[i]]); dd > farD {
+						far, farD = i, dd
+					}
+				}
+				centers[c] = geom.Clone(pts[far])
+				moved = math.Inf(1)
+				continue
+			}
+			newCtr := geom.Scale(nil, 1/float64(counts[c]), sums[c])
+			if m := geom.Dist(newCtr, centers[c]); m > moved {
+				moved = m
+			}
+			centers[c] = newCtr
+		}
+		if moved <= tol {
+			iters++
+			break
+		}
+	}
+	// Final assignment against the last centers.
+	for i, p := range pts {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range centers {
+			if dd := geom.Dist2(p, ctr); dd < bestD {
+				best, bestD = c, dd
+			}
+		}
+		labels[i] = best
+	}
+	return &Result{Labels: labels, Centers: centers, Iterations: iters}, nil
+}
+
+// seedPlusPlus picks k initial centers with D² weighting.
+func seedPlusPlus(pts [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centers := make([][]float64, 0, k)
+	centers = append(centers, geom.Clone(pts[rng.Intn(len(pts))]))
+	d2 := make([]float64, len(pts))
+	for len(centers) < k {
+		var total float64
+		for i, p := range pts {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if dd := geom.Dist2(p, c); dd < best {
+					best = dd
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centers; duplicate one.
+			centers = append(centers, geom.Clone(pts[rng.Intn(len(pts))]))
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(pts) - 1
+		for i, w := range d2 {
+			acc += w
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, geom.Clone(pts[pick]))
+	}
+	return centers
+}
+
+// Inertia returns the within-cluster sum of squared distances, the
+// quantity KMeans locally minimizes (useful for tests and tuning).
+func Inertia(pts [][]float64, r *Result) float64 {
+	var s float64
+	for i, p := range pts {
+		s += geom.Dist2(p, r.Centers[r.Labels[i]])
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestKMeansRecoverWellSeparated(t *testing.T) {
+	pts, trueLabels := workload.Clustered(600, 2, 3, 0.2, 40, 1)
+	r, err := KMeans(pts, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true cluster must map to exactly one k-means cluster.
+	mapping := map[int]int{}
+	for i := range pts {
+		if prev, ok := mapping[trueLabels[i]]; ok {
+			if prev != r.Labels[i] {
+				t.Fatalf("true cluster %d split across k-means clusters %d and %d",
+					trueLabels[i], prev, r.Labels[i])
+			}
+		} else {
+			mapping[trueLabels[i]] = r.Labels[i]
+		}
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("recovered %d clusters", len(mapping))
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := workload.Points(workload.Gaussian, 200, 3, 2)
+	a, err := KMeans(pts, 4, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 4, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labelings")
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(pts, 3, Options{}); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	r, err := KMeans(pts, 3, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range r.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n should give singleton clusters, got %v", r.Labels)
+	}
+	if Inertia(pts, r) > 1e-9 {
+		t.Errorf("inertia = %v, want 0", Inertia(pts, r))
+	}
+}
+
+func TestKMeansDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	r, err := KMeans(pts, 2, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Inertia(pts, r) != 0 {
+		t.Errorf("coincident points: inertia %v", Inertia(pts, r))
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	pts := workload.Points(workload.Uniform, 300, 2, 5)
+	var prev float64
+	for i, k := range []int{1, 4, 16} {
+		r, err := KMeans(pts, k, Options{Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := Inertia(pts, r)
+		if i > 0 && in > prev {
+			t.Errorf("inertia rose from %v to %v at k=%d", prev, in, k)
+		}
+		prev = in
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// Constrained ("local") queries on a single flat Onion. The paper's
+// Section 4 describes the behavior a flat index is stuck with when a
+// query carries extra predicates (attribute ranges, categorical
+// filters): "the query processor will then expand the search to top-M,
+// with M greater than N" — keep streaming the global ranking until N
+// records satisfy the predicate. TopNFiltered implements exactly that
+// expansion on top of the progressive searcher; its statistics quantify
+// the local-vs-global dilemma that motivates the hierarchical index.
+
+// TopNFiltered returns the n best records satisfying pred, by streaming
+// the global ranking and filtering. The predicate receives the record
+// ID and its attribute vector. Cost grows with the global rank of the
+// n-th qualifying record — cheap for selective-but-well-ranked
+// predicates, potentially a full scan for predicates anti-correlated
+// with the weights (the dilemma the hierarchy solves).
+func (ix *Index) TopNFiltered(weights []float64, n int, pred func(id uint64, vector []float64) bool) ([]Result, Stats, error) {
+	if pred == nil {
+		return nil, Stats{}, fmt.Errorf("core: nil predicate")
+	}
+	if n <= 0 {
+		return nil, Stats{}, fmt.Errorf("core: non-positive n")
+	}
+	s := ix.NewSearcher(weights, 0) // unbounded: expand until satisfied
+	if s == nil {
+		return nil, Stats{}, fmt.Errorf("%w: got %d, want %d", errDim, len(weights), ix.dim)
+	}
+	out := make([]Result, 0, n)
+	for len(out) < n {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		p := ix.posOf[r.ID]
+		if pred(r.ID, ix.pts[p]) {
+			out = append(out, r)
+		}
+	}
+	return out, s.Stats(), nil
+}
+
+// TopNInRanges is TopNFiltered specialized to per-attribute interval
+// constraints, the paper's "bounded ranges on one or more numerical
+// attributes" example. ranges maps attribute index -> [lo, hi]
+// (inclusive); attributes not present are unconstrained.
+func (ix *Index) TopNInRanges(weights []float64, n int, ranges map[int][2]float64) ([]Result, Stats, error) {
+	for j := range ranges {
+		if j < 0 || j >= ix.dim {
+			return nil, Stats{}, fmt.Errorf("core: range on attribute %d of %d", j, ix.dim)
+		}
+	}
+	return ix.TopNFiltered(weights, n, func(_ uint64, v []float64) bool {
+		for j, r := range ranges {
+			if v[j] < r[0] || v[j] > r[1] {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func TestTopNFilteredMatchesOracle(t *testing.T) {
+	pts := workload.Points(workload.Gaussian, 800, 3, 61)
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 15; trial++ {
+		w := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		// Predicate: even IDs only.
+		pred := func(id uint64, _ []float64) bool { return id%2 == 0 }
+		got, stats, err := ix.TopNFiltered(w, 10, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle.
+		type sc struct {
+			id uint64
+			s  float64
+		}
+		var all []sc
+		for i, p := range pts {
+			id := uint64(i + 1)
+			if id%2 == 0 {
+				all = append(all, sc{id, geom.Dot(w, p)})
+			}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].s > all[b].s })
+		if len(got) != 10 {
+			t.Fatalf("trial %d: %d results", trial, len(got))
+		}
+		for i := range got {
+			if diff := got[i].Score - all[i].s; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d rank %d: %v want %v", trial, i, got[i].Score, all[i].s)
+			}
+		}
+		if stats.RecordsEvaluated == 0 {
+			t.Error("no stats")
+		}
+	}
+}
+
+func TestTopNFilteredExhaustsIndex(t *testing.T) {
+	pts := workload.Points(workload.Uniform, 100, 2, 63)
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impossible predicate: empty result, index fully streamed.
+	got, stats, err := ix.TopNFiltered([]float64{1, 1}, 5, func(uint64, []float64) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("impossible predicate returned %d", len(got))
+	}
+	if stats.RecordsEvaluated != 100 {
+		t.Errorf("evaluated %d, want all 100", stats.RecordsEvaluated)
+	}
+	// Errors.
+	if _, _, err := ix.TopNFiltered([]float64{1, 1}, 5, nil); err == nil {
+		t.Error("nil predicate accepted")
+	}
+	if _, _, err := ix.TopNFiltered([]float64{1, 1}, 0, func(uint64, []float64) bool { return true }); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := ix.TopNFiltered([]float64{1}, 5, func(uint64, []float64) bool { return true }); err == nil {
+		t.Error("bad dimension accepted")
+	}
+}
+
+func TestTopNInRanges(t *testing.T) {
+	pts := workload.Points(workload.Uniform, 1000, 2, 64)
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1, 1}
+	ranges := map[int][2]float64{0: {-0.1, 0.1}}
+	got, _, err := ix.TopNInRanges(w, 8, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("%d results", len(got))
+	}
+	for i, r := range got {
+		v, _ := ix.Vector(r.ID)
+		if v[0] < -0.1 || v[0] > 0.1 {
+			t.Errorf("rank %d violates range: %v", i, v)
+		}
+	}
+	// Oracle comparison.
+	type sc struct{ s float64 }
+	var all []float64
+	for _, p := range pts {
+		if p[0] >= -0.1 && p[0] <= 0.1 {
+			all = append(all, geom.Dot(w, p))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+	for i := range got {
+		if diff := got[i].Score - all[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("rank %d: %v want %v", i, got[i].Score, all[i])
+		}
+	}
+	// Bad attribute index.
+	if _, _, err := ix.TopNInRanges(w, 5, map[int][2]float64{7: {0, 1}}); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+}
+
+// TestFilteredCostGrowsWithSelectivityMismatch quantifies the paper's
+// local-query dilemma: a filter anti-correlated with the weights forces
+// a deep expansion.
+func TestFilteredCostGrowsWithSelectivityMismatch(t *testing.T) {
+	pts := workload.Points(workload.Gaussian, 3000, 2, 65)
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1, 0}
+	// Aligned filter: x0 above median — qualifying records rank high.
+	_, alignedStats, err := ix.TopNFiltered(w, 10, func(_ uint64, v []float64) bool { return v[0] > 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anti-correlated filter: x0 in the far-left tail.
+	_, antiStats, err := ix.TopNFiltered(w, 10, func(_ uint64, v []float64) bool { return v[0] < -2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if antiStats.RecordsEvaluated <= alignedStats.RecordsEvaluated {
+		t.Errorf("anti-correlated filter cost %d <= aligned cost %d; expected deep expansion",
+			antiStats.RecordsEvaluated, alignedStats.RecordsEvaluated)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FromLayers reconstructs an Index from an existing layer partition —
+// typically one read back from the paged flat-file format — without
+// re-running the convex-hull peeling. The caller asserts the layers
+// are (or were produced as) a valid layered convex hull; basic shape
+// invariants (consistent dimension, unique IDs, no empty layers) are
+// verified here, and VerifyOrdering offers a probabilistic check of the
+// geometric property itself.
+func FromLayers(layers [][]Record, opt Options) (*Index, error) {
+	if len(layers) == 0 {
+		return nil, errors.New("core: no layers")
+	}
+	total := 0
+	for k, l := range layers {
+		if len(l) == 0 {
+			return nil, fmt.Errorf("core: layer %d is empty", k+1)
+		}
+		total += len(l)
+	}
+	var dim int
+	ix := &Index{
+		pts:     make([][]float64, 0, total),
+		ids:     make([]uint64, 0, total),
+		layerOf: make([]int, 0, total),
+		posOf:   make(map[uint64]int, total),
+		tol:     opt.Tol,
+		seed:    opt.Seed,
+	}
+	for k, l := range layers {
+		positions := make([]int, len(l))
+		for i, r := range l {
+			if dim == 0 {
+				dim = len(r.Vector)
+				if dim == 0 {
+					return nil, errors.New("core: zero-dimensional record")
+				}
+				ix.dim = dim
+			}
+			if len(r.Vector) != dim {
+				return nil, fmt.Errorf("core: layer %d record %d has dimension %d, want %d", k+1, i, len(r.Vector), dim)
+			}
+			if _, dup := ix.posOf[r.ID]; dup {
+				return nil, fmt.Errorf("core: duplicate record ID %d", r.ID)
+			}
+			pos := len(ix.pts)
+			vec := make([]float64, dim)
+			copy(vec, r.Vector)
+			ix.pts = append(ix.pts, vec)
+			ix.ids = append(ix.ids, r.ID)
+			ix.layerOf = append(ix.layerOf, k)
+			ix.posOf[r.ID] = pos
+			positions[i] = pos
+		}
+		ix.layers = append(ix.layers, positions)
+	}
+	return ix, nil
+}
+
+// VerifyOrdering probabilistically checks the optimally-linearly-
+// ordered property (paper Definition 1, with >= at ties) over the given
+// weight vectors, returning the first violation found. A nil error from
+// a healthy sample of directions gives high confidence that a
+// FromLayers reconstruction is a genuine Onion index.
+func (ix *Index) VerifyOrdering(weights [][]float64, slack float64) error {
+	for qi, w := range weights {
+		if len(w) != ix.dim {
+			return fmt.Errorf("core: verify query %d has dimension %d, want %d", qi, len(w), ix.dim)
+		}
+		prev := 0.0
+		for k, layer := range ix.layers {
+			best := 0.0
+			for i, p := range layer {
+				var s float64
+				for j, wj := range w {
+					s += wj * ix.pts[p][j]
+				}
+				if i == 0 || s > best {
+					best = s
+				}
+			}
+			if k > 0 && best > prev+slack {
+				return fmt.Errorf("core: layer %d max %v exceeds layer %d max %v for weights %v",
+					k+1, best, k, prev, w)
+			}
+			prev = best
+		}
+	}
+	return nil
+}

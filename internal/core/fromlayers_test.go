@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func layersOf(ix *Index) [][]Record {
+	out := make([][]Record, ix.NumLayers())
+	for k := range out {
+		out[k] = ix.Layer(k)
+	}
+	return out
+}
+
+func TestFromLayersRoundTrip(t *testing.T) {
+	pts := workload.Points(workload.Gaussian, 600, 3, 51)
+	orig, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromLayers(layersOf(orig), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim() != orig.Dim() || back.Len() != orig.Len() || back.NumLayers() != orig.NumLayers() {
+		t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d",
+			back.Dim(), back.Len(), back.NumLayers(), orig.Dim(), orig.Len(), orig.NumLayers())
+	}
+	for k := 0; k < orig.NumLayers(); k++ {
+		if back.LayerSize(k) != orig.LayerSize(k) {
+			t.Fatalf("layer %d size %d vs %d", k, back.LayerSize(k), orig.LayerSize(k))
+		}
+	}
+	// Queries agree exactly.
+	for _, w := range workload.QueryWeights(10, 3, 52) {
+		a, sa, err := orig.TopN(w, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, sb, err := back.TopN(w, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa != sb {
+			t.Fatalf("stats %+v vs %+v", sa, sb)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+				t.Fatalf("rank %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+	// The reconstruction is mutable: maintenance works.
+	if err := back.Insert(Record{ID: 99999, Vector: []float64{8, 8, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	top, _, err := back.TopN([]float64{1, 1, 1}, 1)
+	if err != nil || top[0].ID != 99999 {
+		t.Fatalf("insert after FromLayers: %+v, %v", top, err)
+	}
+}
+
+func TestFromLayersValidation(t *testing.T) {
+	if _, err := FromLayers(nil, Options{}); err == nil {
+		t.Error("no layers accepted")
+	}
+	if _, err := FromLayers([][]Record{{}}, Options{}); err == nil {
+		t.Error("empty layer accepted")
+	}
+	if _, err := FromLayers([][]Record{
+		{{ID: 1, Vector: []float64{1, 2}}},
+		{{ID: 1, Vector: []float64{0, 0}}},
+	}, Options{}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := FromLayers([][]Record{
+		{{ID: 1, Vector: []float64{1, 2}}, {ID: 2, Vector: []float64{1}}},
+	}, Options{}); err == nil {
+		t.Error("mixed dimensions accepted")
+	}
+	if _, err := FromLayers([][]Record{{{ID: 1, Vector: nil}}}, Options{}); err == nil {
+		t.Error("zero-dim accepted")
+	}
+}
+
+func TestVerifyOrdering(t *testing.T) {
+	pts := workload.Points(workload.Uniform, 300, 2, 53)
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := workload.DirectionWeights(40, 2, 54)
+	if err := ix.VerifyOrdering(ws, 1e-9); err != nil {
+		t.Errorf("genuine index failed verification: %v", err)
+	}
+	// A corrupted partition (outermost layer swapped inward) fails.
+	layers := layersOf(ix)
+	if len(layers) < 3 {
+		t.Skip("too few layers")
+	}
+	layers[0], layers[2] = layers[2], layers[0]
+	bad, err := FromLayers(layers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.VerifyOrdering(ws, 1e-9); err == nil {
+		t.Error("corrupted layer order passed verification")
+	}
+	// Dimension mismatch in the query set is reported.
+	if err := ix.VerifyOrdering([][]float64{{1, 2, 3}}, 0); err == nil {
+		t.Error("bad verify dimension accepted")
+	}
+}

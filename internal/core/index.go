@@ -1,0 +1,218 @@
+// Package core implements the Onion index of Chang et al. (SIGMOD 2000):
+// a layered convex hull over a set of d-attribute records that answers
+// top-N linear optimization queries
+//
+//	max_{topN} a1*x1 + a2*x2 + … + ad*xd
+//
+// by evaluating layers from the outermost inwards, touching at most N
+// layers (paper Theorem 2).
+//
+// Layer 1 is the vertex set of the convex hull of all records; layer k
+// is the vertex set of the hull of what remains after peeling layers
+// 1..k-1. By the fundamental theorem of linear programming (paper
+// Theorem 1) the layers form optimally linearly ordered sets: the best
+// record of layer k beats every record of layers k+1, k+2, …, for every
+// weight vector.
+//
+// This package is purely in-memory; package storage lays an index out in
+// paged flat files and accounts for disk I/O the way the paper's
+// evaluation does.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hull"
+)
+
+// Record pairs an application identifier with its attribute vector.
+type Record struct {
+	ID     uint64
+	Vector []float64
+}
+
+// Options configures index construction.
+type Options struct {
+	// Tol is the geometric tolerance passed to the hull; 0 = automatic.
+	Tol float64
+	// MaxLayers, when positive, stops peeling after that many layers and
+	// places every remaining record in one final catch-all layer. Query
+	// results remain correct (the catch-all is dominated by every outer
+	// layer); only pruning granularity is lost. Zero means unbounded.
+	MaxLayers int
+	// Seed feeds the hull's deterministic joggle fallback.
+	Seed int64
+	// Progress, when non-nil, is called after each layer is peeled with
+	// the 1-based layer number and the cumulative number of records
+	// assigned. Useful for multi-minute million-record builds.
+	Progress func(layer, assigned, total int)
+}
+
+// Index is an immutable-by-default Onion index. Maintenance methods
+// (Insert, Delete, Update) mutate it in place; they are not safe for
+// concurrent use with queries.
+type Index struct {
+	dim     int
+	pts     [][]float64 // attribute vectors by internal position
+	ids     []uint64    // external IDs, parallel to pts
+	layers  [][]int     // layers[k] = positions in layer k+1 (0-based here)
+	layerOf []int       // position -> layer index, -1 for freed positions
+	posOf   map[uint64]int
+	free    []int // freed positions available for reuse
+	tol     float64
+	seed    int64
+	joggled bool
+	sorted  *sortedColumns // optional single-attribute fast path
+}
+
+// Build peels records into a layered convex hull. Record IDs must be
+// unique. The records slice is not retained; vectors are.
+func Build(records []Record, opt Options) (*Index, error) {
+	if len(records) == 0 {
+		return nil, errors.New("core: no records")
+	}
+	dim := len(records[0].Vector)
+	if dim == 0 {
+		return nil, errors.New("core: zero-dimensional records")
+	}
+	ix := &Index{
+		dim:     dim,
+		pts:     make([][]float64, len(records)),
+		ids:     make([]uint64, len(records)),
+		layerOf: make([]int, len(records)),
+		posOf:   make(map[uint64]int, len(records)),
+		tol:     opt.Tol,
+		seed:    opt.Seed,
+	}
+	for i, r := range records {
+		if len(r.Vector) != dim {
+			return nil, fmt.Errorf("core: record %d has dimension %d, want %d", i, len(r.Vector), dim)
+		}
+		if _, dup := ix.posOf[r.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate record ID %d", r.ID)
+		}
+		ix.pts[i] = r.Vector
+		ix.ids[i] = r.ID
+		ix.posOf[r.ID] = i
+	}
+
+	// The paper's index-creation procedure (Section 3.1): construct the
+	// hull of the remaining set, emit its vertices as the next layer,
+	// remove them, repeat until empty.
+	remaining := make([]int, len(records))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	assigned := 0
+	inLayer := make([]bool, len(records))
+	for len(remaining) > 0 {
+		if opt.MaxLayers > 0 && len(ix.layers) == opt.MaxLayers-1 {
+			// Catch-all final layer.
+			last := make([]int, len(remaining))
+			copy(last, remaining)
+			ix.appendLayer(last)
+			assigned += len(last)
+			if opt.Progress != nil {
+				opt.Progress(len(ix.layers), assigned, len(records))
+			}
+			break
+		}
+		h, err := hull.Compute(ix.pts, remaining, hull.Options{Tol: opt.Tol, Seed: opt.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d: %w", len(ix.layers)+1, err)
+		}
+		if h.Joggled() {
+			ix.joggled = true
+		}
+		ix.appendLayer(h.Vertices)
+		assigned += len(h.Vertices)
+		for _, v := range h.Vertices {
+			inLayer[v] = true
+		}
+		next := remaining[:0]
+		for _, p := range remaining {
+			if !inLayer[p] {
+				next = append(next, p)
+			}
+		}
+		remaining = next
+		if opt.Progress != nil {
+			opt.Progress(len(ix.layers), assigned, len(records))
+		}
+	}
+	return ix, nil
+}
+
+func (ix *Index) appendLayer(positions []int) {
+	k := len(ix.layers)
+	ix.layers = append(ix.layers, positions)
+	for _, p := range positions {
+		ix.layerOf[p] = k
+	}
+}
+
+// Dim returns the number of numerical attributes.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of live records.
+func (ix *Index) Len() int { return len(ix.posOf) }
+
+// NumLayers returns the number of layers.
+func (ix *Index) NumLayers() int { return len(ix.layers) }
+
+// LayerSize returns the number of records in 0-based layer k.
+func (ix *Index) LayerSize(k int) int { return len(ix.layers[k]) }
+
+// LayerSizes returns the size of every layer, outermost first. The
+// returned slice is freshly allocated.
+func (ix *Index) LayerSizes() []int {
+	s := make([]int, len(ix.layers))
+	for k, l := range ix.layers {
+		s[k] = len(l)
+	}
+	return s
+}
+
+// Layer returns the records of 0-based layer k, in storage order.
+func (ix *Index) Layer(k int) []Record {
+	out := make([]Record, len(ix.layers[k]))
+	for i, p := range ix.layers[k] {
+		out[i] = Record{ID: ix.ids[p], Vector: ix.pts[p]}
+	}
+	return out
+}
+
+// LayerOf returns the 0-based layer of the record with the given ID, or
+// ok=false if no such record exists.
+func (ix *Index) LayerOf(id uint64) (int, bool) {
+	p, ok := ix.posOf[id]
+	if !ok {
+		return 0, false
+	}
+	return ix.layerOf[p], true
+}
+
+// Vector returns the attribute vector of the record with the given ID.
+func (ix *Index) Vector(id uint64) ([]float64, bool) {
+	p, ok := ix.posOf[id]
+	if !ok {
+		return nil, false
+	}
+	return ix.pts[p], true
+}
+
+// Joggled reports whether any layer's hull needed the perturbation
+// fallback during construction or maintenance (see package hull).
+func (ix *Index) Joggled() bool { return ix.joggled }
+
+// Records returns all live records. The order is unspecified.
+func (ix *Index) Records() []Record {
+	out := make([]Record, 0, ix.Len())
+	for _, layer := range ix.layers {
+		for _, p := range layer {
+			out = append(out, Record{ID: ix.ids[p], Vector: ix.pts[p]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func mkRecords(pts [][]float64) []Record {
+	recs := make([]Record, len(pts))
+	for i, p := range pts {
+		recs[i] = Record{ID: uint64(i + 1), Vector: p}
+	}
+	return recs
+}
+
+func buildRand(t testing.TB, dist workload.Distribution, n, d int, seed int64) *Index {
+	t.Helper()
+	ix, err := Build(mkRecords(workload.Points(dist, n, d, seed)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("empty build accepted")
+	}
+	if _, err := Build([]Record{{ID: 1, Vector: nil}}, Options{}); err == nil {
+		t.Error("zero-dim build accepted")
+	}
+	if _, err := Build([]Record{
+		{ID: 1, Vector: []float64{1, 2}},
+		{ID: 2, Vector: []float64{1}},
+	}, Options{}); err == nil {
+		t.Error("mixed dimensions accepted")
+	}
+	if _, err := Build([]Record{
+		{ID: 7, Vector: []float64{1, 2}},
+		{ID: 7, Vector: []float64{3, 4}},
+	}, Options{}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestBuildPartitionsAllRecords(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		ix := buildRand(t, workload.Gaussian, 500, d, int64(d))
+		total := 0
+		seen := map[uint64]bool{}
+		for k := 0; k < ix.NumLayers(); k++ {
+			layer := ix.Layer(k)
+			if len(layer) == 0 {
+				t.Fatalf("d=%d: empty layer %d", d, k)
+			}
+			total += len(layer)
+			for _, r := range layer {
+				if seen[r.ID] {
+					t.Fatalf("d=%d: record %d in two layers", d, r.ID)
+				}
+				seen[r.ID] = true
+				if got, _ := ix.LayerOf(r.ID); got != k {
+					t.Fatalf("d=%d: LayerOf(%d) = %d, want %d", d, r.ID, got, k)
+				}
+			}
+		}
+		if total != 500 {
+			t.Fatalf("d=%d: layers cover %d of 500 records", d, total)
+		}
+	}
+}
+
+// TestOptimallyLinearlyOrdered verifies Definition 1 of the paper: for
+// any weight vector, some record of layer k scores at least as high as
+// every record of deeper layers. (Strict > holds for points in general
+// position; ties are allowed by our tolerance policy, see package hull.)
+func TestOptimallyLinearlyOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, d := range []int{2, 3, 4} {
+		ix := buildRand(t, workload.Uniform, 400, d, int64(100+d))
+		for trial := 0; trial < 40; trial++ {
+			w := make([]float64, d)
+			for j := range w {
+				w[j] = rng.NormFloat64()
+			}
+			maxPerLayer := make([]float64, ix.NumLayers())
+			for k := 0; k < ix.NumLayers(); k++ {
+				best := 0.0
+				for i, r := range ix.Layer(k) {
+					s := geom.Dot(w, r.Vector)
+					if i == 0 || s > best {
+						best = s
+					}
+				}
+				maxPerLayer[k] = best
+			}
+			for k := 1; k < len(maxPerLayer); k++ {
+				if maxPerLayer[k] > maxPerLayer[k-1]+1e-9 {
+					t.Fatalf("d=%d trial=%d: layer %d max %v exceeds layer %d max %v",
+						d, trial, k, maxPerLayer[k], k-1, maxPerLayer[k-1])
+				}
+			}
+		}
+	}
+}
+
+func TestMaxLayers(t *testing.T) {
+	pts := workload.Points(workload.Gaussian, 300, 2, 5)
+	ix, err := Build(mkRecords(pts), Options{MaxLayers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumLayers() != 3 {
+		t.Fatalf("layers = %d, want 3", ix.NumLayers())
+	}
+	if ix.LayerSize(0)+ix.LayerSize(1)+ix.LayerSize(2) != 300 {
+		t.Fatal("layers do not cover all records")
+	}
+	// Query correctness must survive the catch-all layer.
+	w := []float64{0.3, 0.7}
+	got, _, err := ix.TopN(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteTopN(pts, w, 10)
+	checkSameScores(t, got, want)
+}
+
+func TestProgressCallback(t *testing.T) {
+	var calls int
+	lastAssigned := 0
+	_, err := Build(mkRecords(workload.Points(workload.Uniform, 200, 2, 6)), Options{
+		Progress: func(layer, assigned, total int) {
+			calls++
+			if assigned <= lastAssigned {
+				t.Errorf("assigned not increasing: %d -> %d", lastAssigned, assigned)
+			}
+			lastAssigned = assigned
+			if total != 200 {
+				t.Errorf("total = %d", total)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("progress never called")
+	}
+	if lastAssigned != 200 {
+		t.Errorf("final assigned = %d", lastAssigned)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}}
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Dim() != 2 || ix.Len() != 5 {
+		t.Fatalf("dim=%d len=%d", ix.Dim(), ix.Len())
+	}
+	if v, ok := ix.Vector(5); !ok || !geom.Equal(v, []float64{0.5, 0.5}) {
+		t.Errorf("Vector(5) = %v,%v", v, ok)
+	}
+	if _, ok := ix.Vector(99); ok {
+		t.Error("Vector of unknown ID")
+	}
+	if _, ok := ix.LayerOf(99); ok {
+		t.Error("LayerOf unknown ID")
+	}
+	sizes := ix.LayerSizes()
+	if len(sizes) != ix.NumLayers() {
+		t.Error("LayerSizes length")
+	}
+	sum := 0
+	for _, s := range sizes {
+		sum += s
+	}
+	if sum != 5 {
+		t.Errorf("sizes sum = %d", sum)
+	}
+	if got := len(ix.Records()); got != 5 {
+		t.Errorf("Records() len = %d", got)
+	}
+	// The center point must be in the innermost layer.
+	if k, _ := ix.LayerOf(5); k != ix.NumLayers()-1 {
+		t.Errorf("center in layer %d of %d", k, ix.NumLayers())
+	}
+}
+
+func TestGaussianHasMoreLayersThanUniformSpread(t *testing.T) {
+	// Paper Figure 8: Gaussian data spreads across more layers than
+	// uniform data at the same n and d (heavier tails peel longer).
+	g := buildRand(t, workload.Gaussian, 3000, 3, 11)
+	u := buildRand(t, workload.Uniform, 3000, 3, 12)
+	if g.NumLayers() <= u.NumLayers() {
+		t.Errorf("gaussian layers %d <= uniform layers %d; paper predicts more",
+			g.NumLayers(), u.NumLayers())
+	}
+	// And 4D spreads across fewer layers than 3D (dimensionality curse).
+	g4 := buildRand(t, workload.Gaussian, 3000, 4, 13)
+	if g4.NumLayers() >= g.NumLayers() {
+		t.Errorf("4D layers %d >= 3D layers %d; paper predicts fewer", g4.NumLayers(), g.NumLayers())
+	}
+}
+
+// --- oracle helpers shared by query tests ---
+
+type scored struct {
+	id    uint64
+	score float64
+}
+
+func bruteTopN(pts [][]float64, w []float64, n int) []scored {
+	all := make([]scored, len(pts))
+	for i, p := range pts {
+		all[i] = scored{id: uint64(i + 1), score: geom.Dot(w, p)}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].score > all[b].score })
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+func checkSameScores(t *testing.T, got []Result, want []scored) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if diff := got[i].Score - want[i].score; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("rank %d: score %v, want %v", i, got[i].Score, want[i].score)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestQuickQueryEqualsScan is the flagship property-based test: for
+// arbitrary (quick-generated) point clouds and weight vectors, the
+// Onion query returns exactly the scores of a sort-based scan.
+func TestQuickQueryEqualsScan(t *testing.T) {
+	type input struct {
+		Coords  []float64
+		Weights [3]float64
+		N       uint8
+	}
+	f := func(in input) bool {
+		d := 3
+		n := len(in.Coords) / d
+		if n < 1 {
+			return true
+		}
+		if n > 200 {
+			n = 200
+		}
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := 0; j < d; j++ {
+				v := in.Coords[i*d+j]
+				// Clamp quick's full-range floats to something finite.
+				pts[i][j] = math.Mod(v, 1e6)
+				if math.IsNaN(pts[i][j]) {
+					pts[i][j] = 0
+				}
+			}
+		}
+		ix, err := Build(mkRecords(pts), Options{})
+		if err != nil {
+			t.Logf("build error: %v", err)
+			return false
+		}
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = math.Mod(in.Weights[j], 100)
+			if math.IsNaN(w[j]) {
+				w[j] = 1
+			}
+		}
+		topn := int(in.N%20) + 1
+		got, _, err := ix.TopN(w, topn)
+		if err != nil {
+			t.Logf("query error: %v", err)
+			return false
+		}
+		scores := make([]float64, n)
+		for i, p := range pts {
+			scores[i] = geom.Dot(w, p)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+		want := topn
+		if want > n {
+			want = n
+		}
+		if len(got) != want {
+			t.Logf("got %d results, want %d", len(got), want)
+			return false
+		}
+		scale := 1.0
+		for _, s := range scores {
+			if a := math.Abs(s); a > scale {
+				scale = a
+			}
+		}
+		for i := range got {
+			if math.Abs(got[i].Score-scores[i]) > 1e-9*scale {
+				t.Logf("rank %d: %v want %v", i, got[i].Score, scores[i])
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLayersPartition: layers always partition the input, whatever
+// the point configuration (duplicates, collinear runs, tiny sets).
+func TestQuickLayersPartition(t *testing.T) {
+	f := func(coords []float64, dup uint8) bool {
+		d := 2
+		n := len(coords) / d
+		if n < 1 {
+			return true
+		}
+		if n > 150 {
+			n = 150
+		}
+		pts := make([][]float64, 0, n+int(dup%8))
+		for i := 0; i < n; i++ {
+			p := []float64{math.Mod(coords[i*d], 1e4), math.Mod(coords[i*d+1], 1e4)}
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+				p = []float64{0, 0}
+			}
+			pts = append(pts, p)
+		}
+		// Force duplicates of the first point.
+		for i := 0; i < int(dup%8); i++ {
+			pts = append(pts, geom.Clone(pts[0]))
+		}
+		ix, err := Build(mkRecords(pts), Options{})
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		total := 0
+		for k := 0; k < ix.NumLayers(); k++ {
+			sz := ix.LayerSize(k)
+			if sz == 0 {
+				t.Logf("empty layer %d", k)
+				return false
+			}
+			total += sz
+		}
+		return total == len(pts)
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(72))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMaintenanceInvariant: random insert/delete sequences keep
+// the optimally-linearly-ordered property.
+func TestQuickMaintenanceInvariant(t *testing.T) {
+	f := func(seed int64, ops []bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([][]float64, 30)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		ix, err := Build(mkRecords(pts), Options{})
+		if err != nil {
+			return false
+		}
+		nextID := uint64(1000)
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		for _, insert := range ops {
+			if insert || ix.Len() <= 3 {
+				err = ix.Insert(Record{ID: nextID, Vector: []float64{rng.NormFloat64(), rng.NormFloat64()}})
+				nextID++
+			} else {
+				recs := ix.Records()
+				err = ix.Delete(recs[rng.Intn(len(recs))].ID)
+			}
+			if err != nil {
+				t.Logf("op error: %v", err)
+				return false
+			}
+		}
+		// Invariant check over a handful of directions.
+		for trial := 0; trial < 10; trial++ {
+			w := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			prev := math.Inf(1)
+			for k := 0; k < ix.NumLayers(); k++ {
+				best := math.Inf(-1)
+				for _, r := range ix.Layer(k) {
+					if s := geom.Dot(w, r.Vector); s > best {
+						best = s
+					}
+				}
+				if best > prev+1e-9 {
+					t.Logf("layer %d max %v > layer %d max %v", k, best, k-1, prev)
+					return false
+				}
+				prev = best
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(73))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentQueries verifies queries are safe to run in parallel on
+// a shared index (run with -race to catch data races).
+func TestConcurrentQueries(t *testing.T) {
+	pts := make([][]float64, 2000)
+	rng := rand.New(rand.NewSource(74))
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := ix.TopN([]float64{1, 2, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for q := 0; q < 50; q++ {
+				got, _, err := ix.TopN([]float64{1, 2, 3}, 10)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range got {
+					if got[i].ID != want[i].ID {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/topk"
+)
+
+// Result is one ranked answer of a top-N query.
+type Result struct {
+	ID    uint64
+	Score float64
+	// Layer is the 0-based layer the record came from.
+	Layer int
+}
+
+// Stats describes the work a query performed; Table 1 of the paper
+// reports exactly these two quantities averaged over a query load.
+type Stats struct {
+	// RecordsEvaluated counts score computations (one per record of each
+	// accessed layer).
+	RecordsEvaluated int
+	// LayersAccessed counts the layers read.
+	LayersAccessed int
+}
+
+var errDim = errors.New("core: weight vector dimension mismatch")
+
+// TopN returns the n records maximizing the weighted sum weights·x, in
+// descending score order, together with evaluation statistics. Fewer
+// than n results are returned only when the index holds fewer than n
+// records. To minimize instead, negate the weights (paper Section 2).
+//
+// This is the query-evaluation procedure of paper Section 3.2: layers
+// are retrieved outermost first; each layer contributes its best
+// remaining records to a candidate set; a candidate is emitted once it
+// beats the maximum of the current layer, which no deeper layer can
+// exceed (Corollary 1).
+func (ix *Index) TopN(weights []float64, n int) ([]Result, Stats, error) {
+	if ix.sorted != nil && len(weights) == ix.dim && n > 0 {
+		if axis, ok := singleAxis(weights); ok {
+			res, st := ix.topNSorted(weights, axis, n)
+			return res, st, nil
+		}
+	}
+	s := ix.NewSearcher(weights, n)
+	if s == nil {
+		return nil, Stats{}, fmt.Errorf("%w: got %d, want %d", errDim, len(weights), ix.dim)
+	}
+	out := make([]Result, 0, n)
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, s.Stats(), nil
+}
+
+// Searcher streams the results of one linear optimization query in
+// exact rank order (progressive retrieval, paper Section 3.3): the
+// record ranked M is always delivered before the record ranked M+1, so
+// clients can consume a prefix and abandon the rest at no extra cost.
+type Searcher struct {
+	ix      *Index
+	weights []float64
+	remain  int  // results still to deliver; <0 means unbounded
+	k       int  // next layer to evaluate
+	started bool // layer 0 processed
+	cand    topk.MaxHeap
+	emit    []Result // pending results in descending order
+	emitPos int
+	stats   Stats
+	trace   func(TraceEvent) // optional step-by-step narration
+}
+
+// NewSearcher prepares a progressive query. limit bounds the number of
+// results; limit <= 0 streams the complete ranking. It returns nil when
+// the weight dimension does not match the index.
+func (ix *Index) NewSearcher(weights []float64, limit int) *Searcher {
+	if len(weights) != ix.dim {
+		return nil
+	}
+	w := make([]float64, len(weights))
+	copy(w, weights)
+	if limit <= 0 {
+		limit = -1
+	}
+	return &Searcher{ix: ix, weights: w, remain: limit}
+}
+
+// Stats returns the work performed so far.
+func (s *Searcher) Stats() Stats { return s.stats }
+
+// Next returns the next result in rank order. ok is false when the
+// limit has been reached or the index is exhausted.
+func (s *Searcher) Next() (Result, bool) {
+	if s.remain == 0 {
+		return Result{}, false
+	}
+	for s.emitPos >= len(s.emit) {
+		if !s.advance() {
+			return Result{}, false
+		}
+	}
+	r := s.emit[s.emitPos]
+	s.emitPos++
+	if s.remain > 0 {
+		s.remain--
+	}
+	return r, true
+}
+
+// advance evaluates one more layer (or drains the candidate set once
+// layers are exhausted) and refills the emit buffer. It reports false
+// when nothing remains.
+func (s *Searcher) advance() bool {
+	s.emit = s.emit[:0]
+	s.emitPos = 0
+	ix := s.ix
+
+	if s.k >= len(ix.layers) {
+		// No deeper layers: every remaining candidate is final, in heap
+		// order. Emit them all; Next trims to the limit.
+		for s.remain < 0 || len(s.emit) < s.remain {
+			it, ok := s.cand.Pop()
+			if !ok {
+				break
+			}
+			r := s.result(it)
+			s.emitTrace(TraceEvent{Kind: TraceDrained, Layer: -1, ID: r.ID, Score: r.Score})
+			s.emit = append(s.emit, r)
+		}
+		return len(s.emit) > 0
+	}
+
+	// Evaluate the next layer. The per-layer buffer keeps the best
+	// min(remaining, |layer|) records: anything weaker can never reach
+	// the final top-N because enough stronger records exist in this very
+	// layer. Unbounded searches keep the whole layer.
+	layer := ix.layers[s.k]
+	s.stats.LayersAccessed++
+	s.stats.RecordsEvaluated += len(layer)
+	cap := len(layer)
+	if s.remain > 0 && s.remain < cap {
+		cap = s.remain
+	}
+	best := topk.NewBounded(cap)
+	for _, p := range layer {
+		v := ix.pts[p]
+		var score float64
+		for j, wj := range s.weights {
+			score += wj * v[j]
+		}
+		best.Offer(topk.Item{ID: p, Score: score})
+	}
+	t := best.Descending()
+	maxT := t[0].Score
+	s.emitTrace(TraceEvent{
+		Kind: TraceLayerEvaluated, Layer: s.k,
+		ID: ix.ids[t[0].ID], Score: maxT, Evaluated: len(layer),
+	})
+
+	// Candidates from outer layers that beat this layer's maximum can be
+	// finalized now: no deeper layer can exceed maxT (Corollary 1). The
+	// emission loop stops at the query limit: anything further stays a
+	// candidate (it would never be delivered).
+	room := func() bool { return s.remain < 0 || len(s.emit) < s.remain }
+	for room() {
+		c, ok := s.cand.Peek()
+		if !ok || c.Score <= maxT {
+			break
+		}
+		s.cand.Pop()
+		r := s.result(c)
+		s.emitTrace(TraceEvent{Kind: TraceResultFromCandidates, Layer: s.k, ID: r.ID, Score: r.Score})
+		s.emit = append(s.emit, r)
+	}
+	// This layer's maximum is final too; the rest become candidates.
+	rest := t
+	if room() {
+		r0 := s.result(t[0])
+		s.emitTrace(TraceEvent{Kind: TraceResultFromLayer, Layer: s.k, ID: r0.ID, Score: r0.Score})
+		s.emit = append(s.emit, r0)
+		rest = t[1:]
+	}
+	for _, it := range rest {
+		s.emitTrace(TraceEvent{Kind: TraceCandidateKept, Layer: s.k, ID: ix.ids[it.ID], Score: it.Score})
+		s.cand.Push(it)
+	}
+	s.k++
+	return true
+}
+
+func (s *Searcher) result(it topk.Item) Result {
+	return Result{ID: s.ix.ids[it.ID], Score: it.Score, Layer: s.ix.layerOf[it.ID]}
+}
+
+// Score computes weights·vector for an arbitrary record by ID.
+func (ix *Index) Score(weights []float64, id uint64) (float64, bool) {
+	p, ok := ix.posOf[id]
+	if !ok {
+		return 0, false
+	}
+	var s float64
+	for j, wj := range weights {
+		s += wj * ix.pts[p][j]
+	}
+	return s, true
+}

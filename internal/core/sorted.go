@@ -1,0 +1,76 @@
+package core
+
+import "sort"
+
+// Single-attribute fast path. The paper observes (Section 2) that when
+// all but one weight degenerate to zero, the query "may be solved by
+// sorting the records along the dimension with nonzero weight". An
+// Onion still answers such queries correctly, but a per-attribute
+// sorted permutation answers them with exactly n record reads and no
+// geometry. The structure is optional — d permutations cost d×n ints —
+// and is consulted by TopN automatically once built.
+
+// sortedColumns holds one descending permutation per attribute.
+type sortedColumns struct {
+	perm [][]int // perm[j] = positions sorted by attribute j, descending
+}
+
+// EnableSortedColumns builds per-attribute sorted permutations so that
+// degenerate queries (exactly one non-zero weight) bypass the layer
+// walk. Maintenance invalidates the structure; call it again after
+// bulk changes.
+func (ix *Index) EnableSortedColumns() {
+	sc := &sortedColumns{perm: make([][]int, ix.dim)}
+	live := make([]int, 0, ix.Len())
+	for _, layer := range ix.layers {
+		live = append(live, layer...)
+	}
+	for j := 0; j < ix.dim; j++ {
+		p := make([]int, len(live))
+		copy(p, live)
+		sort.SliceStable(p, func(a, b int) bool { return ix.pts[p[a]][j] > ix.pts[p[b]][j] })
+		sc.perm[j] = p
+	}
+	ix.sorted = sc
+}
+
+// SortedColumnsEnabled reports whether the fast path is active.
+func (ix *Index) SortedColumnsEnabled() bool { return ix.sorted != nil }
+
+// singleAxis returns (axis, ok) when exactly one weight is non-zero.
+func singleAxis(weights []float64) (int, bool) {
+	axis := -1
+	for j, w := range weights {
+		if w != 0 {
+			if axis >= 0 {
+				return 0, false
+			}
+			axis = j
+		}
+	}
+	return axis, axis >= 0
+}
+
+// topNSorted answers a degenerate query from the sorted permutation.
+// Walking from the top for positive weight (descending attribute) or
+// from the bottom for negative weight yields rank order directly.
+func (ix *Index) topNSorted(weights []float64, axis, n int) ([]Result, Stats) {
+	perm := ix.sorted.perm[axis]
+	w := weights[axis]
+	if n > len(perm) {
+		n = len(perm)
+	}
+	out := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		pos := perm[i]
+		if w < 0 {
+			pos = perm[len(perm)-1-i]
+		}
+		out = append(out, Result{
+			ID:    ix.ids[pos],
+			Score: w * ix.pts[pos][axis],
+			Layer: ix.layerOf[pos],
+		})
+	}
+	return out, Stats{RecordsEvaluated: n, LayersAccessed: 0}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSortedColumnsFastPath(t *testing.T) {
+	pts := workload.Points(workload.Gaussian, 800, 3, 41)
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.SortedColumnsEnabled() {
+		t.Fatal("fast path enabled before EnableSortedColumns")
+	}
+	// Baseline answers via the layer walk.
+	wantPos, _, err := ix.TopN([]float64{0, 1, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNeg, _, err := ix.TopN([]float64{0, 0, -2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.EnableSortedColumns()
+	if !ix.SortedColumnsEnabled() {
+		t.Fatal("fast path not enabled")
+	}
+	gotPos, stPos, err := ix.TopN([]float64{0, 1, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPos.RecordsEvaluated != 10 || stPos.LayersAccessed != 0 {
+		t.Errorf("fast path stats %+v, want 10 records 0 layers", stPos)
+	}
+	for i := range gotPos {
+		if gotPos[i].Score != wantPos[i].Score {
+			t.Fatalf("positive axis rank %d: %v want %v", i, gotPos[i].Score, wantPos[i].Score)
+		}
+	}
+	gotNeg, _, err := ix.TopN([]float64{0, 0, -2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gotNeg {
+		if gotNeg[i].Score != wantNeg[i].Score {
+			t.Fatalf("negative axis rank %d: %v want %v", i, gotNeg[i].Score, wantNeg[i].Score)
+		}
+	}
+	// Multi-axis weights must still use the layer walk.
+	_, st, err := ix.TopN([]float64{0.5, 0.5, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LayersAccessed == 0 {
+		t.Error("multi-axis query took the degenerate path")
+	}
+	// All-zero weights: not a single-axis query; the layer walk handles
+	// it (constant scores).
+	res, _, err := ix.TopN([]float64{0, 0, 0}, 5)
+	if err != nil || len(res) != 5 {
+		t.Errorf("zero-weight query: %d results, err %v", len(res), err)
+	}
+}
+
+func TestSortedColumnsOveraskAndInvalidate(t *testing.T) {
+	pts := workload.Points(workload.Uniform, 50, 2, 42)
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.EnableSortedColumns()
+	res, _, err := ix.TopN([]float64{1, 0}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 50 {
+		t.Fatalf("overask returned %d", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("not descending")
+		}
+	}
+	// Maintenance invalidates the permutation.
+	if err := ix.Insert(Record{ID: 5000, Vector: []float64{9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if ix.SortedColumnsEnabled() {
+		t.Error("fast path survived insert")
+	}
+	top, _, err := ix.TopN([]float64{1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].ID != 5000 {
+		t.Errorf("new extreme missed: %+v", top[0])
+	}
+	// Re-enabling after maintenance picks up the new record.
+	ix.EnableSortedColumns()
+	top2, _, err := ix.TopN([]float64{1, 0}, 1)
+	if err != nil || top2[0].ID != 5000 {
+		t.Errorf("fast path after re-enable: %+v, %v", top2, err)
+	}
+	if err := ix.Delete(5000); err != nil {
+		t.Fatal(err)
+	}
+	if ix.SortedColumnsEnabled() {
+		t.Error("fast path survived delete")
+	}
+}

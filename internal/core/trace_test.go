@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTraceEventsCoverEvaluation(t *testing.T) {
+	pts := workload.Points(workload.Gaussian, 500, 2, 81)
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	s := ix.NewSearcher([]float64{0.7, 0.3}, 10).Trace(func(ev TraceEvent) {
+		events = append(events, ev)
+	})
+	var results []Result
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		results = append(results, r)
+	}
+	if len(results) != 10 {
+		t.Fatalf("%d results", len(results))
+	}
+	// Every delivered result corresponds to exactly one result-kind
+	// event, in order.
+	var resultEvents []TraceEvent
+	layersSeen := 0
+	evaluated := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case TraceResultFromCandidates, TraceResultFromLayer, TraceDrained:
+			resultEvents = append(resultEvents, ev)
+		case TraceLayerEvaluated:
+			layersSeen++
+			evaluated += ev.Evaluated
+			if ev.ID == 0 || ev.Evaluated <= 0 {
+				t.Errorf("malformed layer event %+v", ev)
+			}
+		}
+	}
+	if len(resultEvents) != len(results) {
+		t.Fatalf("%d result events for %d results", len(resultEvents), len(results))
+	}
+	for i, ev := range resultEvents {
+		if ev.ID != results[i].ID || ev.Score != results[i].Score {
+			t.Errorf("event %d: %+v != result %+v", i, ev, results[i])
+		}
+	}
+	st := s.Stats()
+	if layersSeen != st.LayersAccessed || evaluated != st.RecordsEvaluated {
+		t.Errorf("trace saw %d layers/%d records, stats say %+v", layersSeen, evaluated, st)
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	for _, k := range []TraceKind{TraceLayerEvaluated, TraceCandidateKept,
+		TraceResultFromCandidates, TraceResultFromLayer, TraceDrained} {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if TraceKind(99).String() != "unknown" {
+		t.Error("unknown kind misnamed")
+	}
+}
+
+func TestTraceUntracedSearcherUnaffected(t *testing.T) {
+	pts := workload.Points(workload.Uniform, 300, 2, 82)
+	ix, err := Build(mkRecords(pts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1, 1}
+	a, _, err := ix.TopN(w, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.NewSearcher(w, 20).Trace(func(TraceEvent) {})
+	for i := range a {
+		r, ok := s.Next()
+		if !ok || r.ID != a[i].ID {
+			t.Fatalf("traced search diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package fagin
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func brute(pts [][]float64, w []float64, n int) []float64 {
+	s := make([]float64, len(pts))
+	for i, p := range pts {
+		s[i] = geom.Dot(w, p)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	if n > len(s) {
+		n = len(s)
+	}
+	return s[:n]
+}
+
+func TestFaginMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{2, 3, 4} {
+		pts := workload.Points(workload.Gaussian, 500, d, int64(d))
+		ix, err := NewIndex(pts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			w := make([]float64, d)
+			for j := range w {
+				w[j] = rng.NormFloat64() // mixed signs
+			}
+			for _, n := range []int{1, 5, 20} {
+				got, st, err := ix.TopN(w, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := brute(pts, w, n)
+				if len(got) != len(want) {
+					t.Fatalf("d=%d n=%d: %d results", d, n, len(got))
+				}
+				for i := range got {
+					if diff := got[i].Score - want[i]; diff > 1e-9 || diff < -1e-9 {
+						t.Fatalf("d=%d n=%d rank %d: %v want %v", d, n, i, got[i].Score, want[i])
+					}
+				}
+				if st.ObjectsSeen == 0 || st.SortedAccesses == 0 {
+					t.Errorf("stats not tracked: %+v", st)
+				}
+			}
+		}
+	}
+}
+
+func TestFaginZeroWeights(t *testing.T) {
+	pts := workload.Points(workload.Uniform, 100, 3, 1)
+	ix, err := NewIndex(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One active attribute: equivalent to sorting that column.
+	got, _, err := ix.TopN([]float64{0, 1, 0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := brute(pts, []float64{0, 1, 0}, 5)
+	for i := range got {
+		if got[i].Score != want[i] {
+			t.Fatalf("rank %d: %v want %v", i, got[i].Score, want[i])
+		}
+	}
+	// All-zero weights: constant function; any n records valid.
+	res, st, err := ix.TopN([]float64{0, 0, 0}, 4)
+	if err != nil || len(res) != 4 {
+		t.Fatalf("constant query: %v,%v", res, err)
+	}
+	if st.ObjectsSeen != 4 {
+		t.Errorf("constant query stats %+v", st)
+	}
+}
+
+func TestFaginErrors(t *testing.T) {
+	if _, err := NewIndex(nil, nil); err == nil {
+		t.Error("empty index accepted")
+	}
+	if _, err := NewIndex([][]float64{{}}, nil); err == nil {
+		t.Error("zero-dim accepted")
+	}
+	if _, err := NewIndex([][]float64{{1}}, []uint64{1, 2}); err == nil {
+		t.Error("ids mismatch accepted")
+	}
+	ix, _ := NewIndex([][]float64{{1, 2}}, nil)
+	if _, _, err := ix.TopN([]float64{1}, 1); err == nil {
+		t.Error("weight mismatch accepted")
+	}
+	if _, _, err := ix.TopN([]float64{1, 1}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// TestFaginCornerRegion reproduces the paper's Figure 2 observation:
+// on a disk of points with equal weights, FA touches a large fraction
+// of the set even for top-1, because it cannot exploit correlation.
+func TestFaginCornerRegion(t *testing.T) {
+	pts := workload.Points(workload.Ball, 5000, 2, 9)
+	ix, err := NewIndex(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := ix.TopN([]float64{1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shaded region of Figure 2 is a constant fraction of the disk;
+	// FA must see far more than a handful of objects.
+	if st.ObjectsSeen < 100 {
+		t.Errorf("FA saw only %d objects on the disk; expected a large corner region", st.ObjectsSeen)
+	}
+}

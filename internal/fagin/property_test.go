@@ -1,0 +1,121 @@
+package fagin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestFaginQuickProperty: FA over arbitrary quick-generated data always
+// matches the brute-force oracle, for arbitrary signed weights.
+func TestFaginQuickProperty(t *testing.T) {
+	f := func(coords []float64, w [3]float64, nRaw uint8) bool {
+		d := 3
+		n := len(coords) / d
+		if n < 1 {
+			return true
+		}
+		if n > 120 {
+			n = 120
+		}
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := range pts[i] {
+				v := math.Mod(coords[i*d+j], 1e5)
+				if math.IsNaN(v) {
+					v = 0
+				}
+				pts[i][j] = v
+			}
+		}
+		ix, err := NewIndex(pts, nil)
+		if err != nil {
+			return false
+		}
+		ws := make([]float64, d)
+		for j := range ws {
+			ws[j] = math.Mod(w[j], 10)
+			if math.IsNaN(ws[j]) {
+				ws[j] = 0
+			}
+		}
+		topn := int(nRaw%10) + 1
+		got, _, err := ix.TopN(ws, topn)
+		if err != nil {
+			return false
+		}
+		want := brute(pts, ws, topn)
+		allZero := ws[0] == 0 && ws[1] == 0 && ws[2] == 0
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if allZero {
+				if got[i].Score != 0 {
+					return false
+				}
+				continue
+			}
+			scale := math.Abs(want[i]) + 1
+			if math.Abs(got[i].Score-want[i]) > 1e-9*scale {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(44))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaginDuplicateValues(t *testing.T) {
+	// Heavy ties in the sorted lists must not break the stopping rule.
+	pts := [][]float64{
+		{1, 1}, {1, 1}, {1, 1}, {0, 2}, {2, 0}, {1, 1}, {0, 0},
+	}
+	ix, err := NewIndex(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.TopN([]float64{1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := brute(pts, []float64{1, 1}, 4)
+	for i := range got {
+		if got[i].Score != want[i] {
+			t.Fatalf("rank %d: %v want %v", i, got[i].Score, want[i])
+		}
+	}
+}
+
+func TestFaginStatsBounded(t *testing.T) {
+	pts := make([][]float64, 200)
+	rng := rand.New(rand.NewSource(9))
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	ix, err := NewIndex(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := ix.TopN([]float64{1, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SortedAccesses > 2*len(pts) {
+		t.Errorf("sorted accesses %d exceed 2n", st.SortedAccesses)
+	}
+	if st.ObjectsSeen > len(pts) {
+		t.Errorf("objects seen %d exceed n", st.ObjectsSeen)
+	}
+	if st.RandomAccesses > st.ObjectsSeen {
+		t.Errorf("random accesses %d exceed objects seen %d", st.RandomAccesses, st.ObjectsSeen)
+	}
+	_ = geom.Dot // keep the oracle dependency explicit
+}

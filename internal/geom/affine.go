@@ -1,0 +1,106 @@
+package geom
+
+// AffineBasis is an orthonormal basis of the affine span of a point set:
+// the span is {Origin + sum_i c_i * Basis[i]}. It supports projecting
+// points into span coordinates, which the hull package uses to peel
+// degenerate (rank-deficient) point sets in their intrinsic dimension.
+type AffineBasis struct {
+	Origin []float64
+	Basis  [][]float64 // orthonormal rows, len = affine rank
+}
+
+// Rank returns the affine rank (the intrinsic dimension of the span).
+func (b *AffineBasis) Rank() int { return len(b.Basis) }
+
+// Project stores the span coordinates of p into dst (length Rank) and
+// returns dst.
+func (b *AffineBasis) Project(dst, p []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(b.Basis))
+	}
+	diff := make([]float64, len(p))
+	Sub(diff, p, b.Origin)
+	for i, e := range b.Basis {
+		dst[i] = Dot(e, diff)
+	}
+	return dst
+}
+
+// Lift maps span coordinates c back to ambient coordinates.
+func (b *AffineBasis) Lift(c []float64) []float64 {
+	p := Clone(b.Origin)
+	for i, e := range b.Basis {
+		AXPY(p, p, c[i], e)
+	}
+	return p
+}
+
+// Residual returns the distance from p to the affine span.
+func (b *AffineBasis) Residual(p []float64) float64 {
+	diff := Sub(nil, p, b.Origin)
+	for _, e := range b.Basis {
+		AXPY(diff, diff, -Dot(e, diff), e)
+	}
+	return Norm(diff)
+}
+
+// SpanOf computes an orthonormal basis of the affine span of the points
+// selected by idxs (all points when idxs is nil), using greedy
+// farthest-point Gram–Schmidt: at each step it adopts the point with the
+// largest residual to the current span, stopping when no residual exceeds
+// tol. The returned basis has rank between 0 (all points within tol of
+// one location) and d.
+//
+// Along with the basis it returns the indices of the points chosen as
+// affinely independent representatives (rank+1 of them, starting with the
+// origin point); hull construction reuses them as initial-simplex
+// candidates because greedily maximizing residuals tends to produce a
+// well-conditioned simplex.
+func SpanOf(pts [][]float64, idxs []int, tol float64) (AffineBasis, []int) {
+	iter := func(f func(ix int)) {
+		if idxs == nil {
+			for i := range pts {
+				f(i)
+			}
+		} else {
+			for _, ix := range idxs {
+				f(ix)
+			}
+		}
+	}
+	// Origin: the lexicographic minimum makes the basis deterministic.
+	origin := -1
+	iter(func(ix int) {
+		if origin < 0 || Lexicographically(pts[ix], pts[origin]) {
+			origin = ix
+		}
+	})
+	if origin < 0 {
+		return AffineBasis{}, nil
+	}
+	d := len(pts[origin])
+	b := AffineBasis{Origin: Clone(pts[origin])}
+	chosen := []int{origin}
+	resid := make([]float64, d)
+	for len(b.Basis) < d {
+		best, bestNorm := -1, tol
+		var bestResid []float64
+		iter(func(ix int) {
+			Sub(resid, pts[ix], b.Origin)
+			for _, e := range b.Basis {
+				AXPY(resid, resid, -Dot(e, resid), e)
+			}
+			if n := Norm(resid); n > bestNorm {
+				best, bestNorm = ix, n
+				bestResid = Clone(resid)
+			}
+		})
+		if best < 0 {
+			break
+		}
+		Scale(bestResid, 1/bestNorm, bestResid)
+		b.Basis = append(b.Basis, bestResid)
+		chosen = append(chosen, best)
+	}
+	return b, chosen
+}

@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpanOfFullRank(t *testing.T) {
+	pts := [][]float64{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}}
+	b, chosen := SpanOf(pts, nil, 1e-9)
+	if b.Rank() != 3 {
+		t.Fatalf("rank = %d, want 3", b.Rank())
+	}
+	if len(chosen) != 4 {
+		t.Fatalf("chosen = %v, want 4 points", chosen)
+	}
+	// Basis must be orthonormal.
+	for i := range b.Basis {
+		if !almostEqual(Norm(b.Basis[i]), 1, 1e-12) {
+			t.Errorf("basis %d not unit", i)
+		}
+		for j := i + 1; j < len(b.Basis); j++ {
+			if d := Dot(b.Basis[i], b.Basis[j]); math.Abs(d) > 1e-12 {
+				t.Errorf("basis %d,%d not orthogonal: %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestSpanOfPlane(t *testing.T) {
+	// Points on the plane z = 2x + 3y + 1 have affine rank 2 in 3D.
+	rng := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 40)
+	for i := range pts {
+		x, y := rng.NormFloat64(), rng.NormFloat64()
+		pts[i] = []float64{x, y, 2*x + 3*y + 1}
+	}
+	b, _ := SpanOf(pts, nil, 1e-9)
+	if b.Rank() != 2 {
+		t.Fatalf("rank = %d, want 2", b.Rank())
+	}
+	// Every point must project and lift back with tiny residual.
+	for i, p := range pts {
+		if r := b.Residual(p); r > 1e-9 {
+			t.Errorf("point %d residual %v", i, r)
+		}
+		back := b.Lift(b.Project(nil, p))
+		if !EqualTol(back, p, 1e-9) {
+			t.Errorf("point %d roundtrip %v -> %v", i, p, back)
+		}
+	}
+}
+
+func TestSpanOfLineAndPoint(t *testing.T) {
+	line := [][]float64{{0, 0}, {1, 2}, {2, 4}, {-3, -6}}
+	b, _ := SpanOf(line, nil, 1e-9)
+	if b.Rank() != 1 {
+		t.Fatalf("line rank = %d", b.Rank())
+	}
+	same := [][]float64{{5, 5, 5}, {5, 5, 5}, {5, 5, 5}}
+	b2, chosen := SpanOf(same, nil, 1e-9)
+	if b2.Rank() != 0 {
+		t.Fatalf("coincident rank = %d", b2.Rank())
+	}
+	if len(chosen) != 1 {
+		t.Fatalf("coincident chosen = %v", chosen)
+	}
+}
+
+func TestSpanOfSubset(t *testing.T) {
+	pts := [][]float64{{0, 0}, {9, 9}, {1, 0}, {0, 1}}
+	// Restricted to indices {0,2}, the span is the x-axis: rank 1.
+	b, _ := SpanOf(pts, []int{0, 2}, 1e-9)
+	if b.Rank() != 1 {
+		t.Fatalf("rank = %d, want 1", b.Rank())
+	}
+	if b.Residual(pts[1]) < 1 {
+		t.Error("point off the subset span should have large residual")
+	}
+}
+
+func TestSpanOfEmpty(t *testing.T) {
+	b, chosen := SpanOf(nil, nil, 1e-9)
+	if b.Rank() != 0 || chosen != nil {
+		t.Errorf("empty input: rank %d chosen %v", b.Rank(), chosen)
+	}
+}
+
+func TestProjectPreservesDistancesOnSpan(t *testing.T) {
+	// For points in the span, projection is an isometry.
+	rng := rand.New(rand.NewSource(5))
+	pts := make([][]float64, 20)
+	for i := range pts {
+		x, y := rng.NormFloat64(), rng.NormFloat64()
+		pts[i] = []float64{x, y, x + y, x - y} // rank-2 subspace of 4D
+	}
+	b, _ := SpanOf(pts, nil, 1e-9)
+	if b.Rank() != 2 {
+		t.Fatalf("rank = %d", b.Rank())
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			pi := b.Project(nil, pts[i])
+			pj := b.Project(nil, pts[j])
+			if !almostEqual(Dist(pi, pj), Dist(pts[i], pts[j]), 1e-9) {
+				t.Fatalf("projection not isometric for %d,%d", i, j)
+			}
+		}
+	}
+}

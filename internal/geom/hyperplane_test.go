@@ -1,0 +1,148 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPlaneThrough2D(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 0}, {1, 5}}
+	h, err := PlaneThrough(pts, []int{0, 1}, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plane through (0,0),(2,0) is the x-axis: normal ±(0,1), offset 0.
+	if !almostEqual(math.Abs(h.Normal[1]), 1, 1e-12) || !almostEqual(h.Normal[0], 0, 1e-12) {
+		t.Errorf("normal = %v", h.Normal)
+	}
+	if !almostEqual(h.Offset, 0, 1e-12) {
+		t.Errorf("offset = %v", h.Offset)
+	}
+	if !h.OrientAway(pts[2], 1e-12) {
+		t.Fatal("OrientAway failed with clear interior point")
+	}
+	if d := h.Dist(pts[2]); d >= 0 {
+		t.Errorf("interior point above after OrientAway: %v", d)
+	}
+}
+
+func TestPlaneThrough3D(t *testing.T) {
+	pts := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {0, 0, 0}}
+	h, err := PlaneThrough(pts, []int{0, 1, 2}, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 1 / math.Sqrt(3)
+	for i := 0; i < 3; i++ {
+		if !almostEqual(math.Abs(h.Normal[i]), w, 1e-12) {
+			t.Fatalf("normal = %v", h.Normal)
+		}
+	}
+	// All three defining points must be on the plane.
+	for i := 0; i < 3; i++ {
+		if d := h.Dist(pts[i]); !almostEqual(d, 0, 1e-12) {
+			t.Errorf("point %d distance %v", i, d)
+		}
+	}
+	if !h.OrientAway(pts[3], 1e-12) {
+		t.Fatal("orientation failed")
+	}
+	if h.Dist(pts[3]) >= 0 {
+		t.Error("origin should be below the oriented plane")
+	}
+}
+
+func TestPlaneThroughDegenerate(t *testing.T) {
+	// Three collinear points in 3D do not define a plane.
+	pts := [][]float64{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}}
+	if _, err := PlaneThrough(pts, []int{0, 1, 2}, 1e-9); err == nil {
+		t.Fatal("expected ErrDegenerate for collinear points")
+	}
+}
+
+func TestPlaneThroughRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for d := 2; d <= 6; d++ {
+		for trial := 0; trial < 50; trial++ {
+			pts := make([][]float64, d+1)
+			idxs := make([]int, d)
+			for i := range pts {
+				pts[i] = make([]float64, d)
+				for j := range pts[i] {
+					pts[i][j] = rng.NormFloat64()
+				}
+				if i < d {
+					idxs[i] = i
+				}
+			}
+			h, err := PlaneThrough(pts, idxs, 1e-12)
+			if err != nil {
+				t.Fatalf("d=%d trial=%d: %v", d, trial, err)
+			}
+			if !almostEqual(Norm(h.Normal), 1, 1e-12) {
+				t.Fatalf("non-unit normal %v", h.Normal)
+			}
+			for _, ix := range idxs {
+				if dd := h.Dist(pts[ix]); math.Abs(dd) > 1e-9 {
+					t.Fatalf("defining point off plane by %v", dd)
+				}
+			}
+		}
+	}
+}
+
+func TestNullVectorErrors(t *testing.T) {
+	if _, err := NullVector(nil, 1e-12); err == nil {
+		t.Error("empty matrix should error")
+	}
+	if _, err := NullVector([][]float64{{1, 0}, {0, 1}}, 1e-12); err == nil {
+		t.Error("square matrix should error")
+	}
+	// Rank-deficient rows.
+	if _, err := NullVector([][]float64{{1, 1, 1}, {2, 2, 2}}, 1e-9); err != ErrDegenerate {
+		t.Errorf("want ErrDegenerate, got %v", err)
+	}
+}
+
+func TestNullVectorOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		d := 2 + rng.Intn(5)
+		r := 1 + rng.Intn(d-1)
+		m := make([][]float64, r)
+		for i := range m {
+			m[i] = make([]float64, d)
+			for j := range m[i] {
+				m[i][j] = rng.NormFloat64()
+			}
+		}
+		n, err := NullVector(m, 1e-12)
+		if err != nil {
+			// Random Gaussian rows are full rank with probability 1.
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, row := range m {
+			if dot := Dot(n, row); math.Abs(dot) > 1e-8*Norm(row) {
+				t.Fatalf("trial %d row %d not orthogonal: %v", trial, i, dot)
+			}
+		}
+	}
+}
+
+func TestHyperplaneFlip(t *testing.T) {
+	h := Hyperplane{Normal: []float64{0, 1}, Offset: 3}
+	p := []float64{0, 5}
+	before := h.Dist(p)
+	h.Flip()
+	if after := h.Dist(p); !almostEqual(after, -before, 1e-15) {
+		t.Errorf("flip changed |dist|: %v vs %v", before, after)
+	}
+}
+
+func TestOrientAwayAmbiguous(t *testing.T) {
+	h := Hyperplane{Normal: []float64{0, 1}, Offset: 0}
+	if h.OrientAway([]float64{5, 0}, 1e-9) {
+		t.Error("point on the plane must be ambiguous")
+	}
+}

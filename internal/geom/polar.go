@@ -1,0 +1,84 @@
+package geom
+
+import "math"
+
+// ToPolar converts a d-dimensional Cartesian vector to polar form
+// (r, θ1, …, θ_{d-1}) using the standard hyperspherical convention:
+//
+//	x1 = r cosθ1
+//	x2 = r sinθ1 cosθ2
+//	…
+//	x_{d-1} = r sinθ1 … sinθ_{d-2} cosθ_{d-1}
+//	x_d     = r sinθ1 … sinθ_{d-2} sinθ_{d-1}
+//
+// θ1..θ_{d-2} lie in [0,π]; θ_{d-1} lies in (-π,π]. The spherical-shell
+// auxiliary structure (paper Section 6, Figure 11) orders the records of
+// a layer by these angles and evaluates only an angular window around the
+// query direction.
+func ToPolar(x []float64) (r float64, angles []float64) {
+	d := len(x)
+	if d == 0 {
+		return 0, nil
+	}
+	if d == 1 {
+		// One dimension has no angular part; the signed coordinate plays
+		// the role of the radius so the round trip is exact.
+		return x[0], nil
+	}
+	r = Norm(x)
+	angles = make([]float64, d-1)
+	// tail2 holds sum of squares of x[i..d-1].
+	tail2 := make([]float64, d)
+	var acc float64
+	for i := d - 1; i >= 0; i-- {
+		acc += x[i] * x[i]
+		tail2[i] = acc
+	}
+	for i := 0; i < d-2; i++ {
+		t := math.Sqrt(tail2[i])
+		if t == 0 {
+			angles[i] = 0
+			continue
+		}
+		angles[i] = math.Acos(clamp(x[i]/t, -1, 1))
+	}
+	angles[d-2] = math.Atan2(x[d-1], x[d-2])
+	return r, angles
+}
+
+// FromPolar converts (r, angles) back to Cartesian coordinates.
+func FromPolar(r float64, angles []float64) []float64 {
+	d := len(angles) + 1
+	x := make([]float64, d)
+	prod := r
+	for i := 0; i < d-2; i++ {
+		x[i] = prod * math.Cos(angles[i])
+		prod *= math.Sin(angles[i])
+	}
+	if d >= 2 {
+		x[d-2] = prod * math.Cos(angles[d-1-1])
+		x[d-1] = prod * math.Sin(angles[d-1-1])
+	} else {
+		x[0] = r
+	}
+	return x
+}
+
+// AngleBetween returns the angle in [0,π] between non-zero vectors a and b.
+func AngleBetween(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return math.Acos(clamp(Dot(a, b)/(na*nb), -1, 1))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

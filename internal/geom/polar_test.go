@@ -1,0 +1,77 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestToPolar2D(t *testing.T) {
+	r, a := ToPolar([]float64{1, 1})
+	if !almostEqual(r, math.Sqrt2, 1e-12) {
+		t.Errorf("r = %v", r)
+	}
+	if len(a) != 1 || !almostEqual(a[0], math.Pi/4, 1e-12) {
+		t.Errorf("angles = %v", a)
+	}
+	r, a = ToPolar([]float64{-1, 0})
+	if !almostEqual(a[0], math.Pi, 1e-12) {
+		t.Errorf("angle of (-1,0) = %v, want pi (r=%v)", a[0], r)
+	}
+}
+
+func TestPolarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for d := 1; d <= 6; d++ {
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, d)
+			for i := range x {
+				x[i] = rng.NormFloat64() * 3
+			}
+			r, a := ToPolar(x)
+			back := FromPolar(r, a)
+			if !EqualTol(back, x, 1e-9) {
+				t.Fatalf("d=%d roundtrip %v -> (%v,%v) -> %v", d, x, r, a, back)
+			}
+		}
+	}
+}
+
+func TestPolarZeroVector(t *testing.T) {
+	r, a := ToPolar([]float64{0, 0, 0})
+	if r != 0 {
+		t.Errorf("r = %v", r)
+	}
+	back := FromPolar(r, a)
+	if !EqualTol(back, []float64{0, 0, 0}, 1e-15) {
+		t.Errorf("roundtrip = %v", back)
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	if got := AngleBetween([]float64{1, 0}, []float64{0, 1}); !almostEqual(got, math.Pi/2, 1e-12) {
+		t.Errorf("orthogonal = %v", got)
+	}
+	if got := AngleBetween([]float64{1, 0}, []float64{-2, 0}); !almostEqual(got, math.Pi, 1e-12) {
+		t.Errorf("opposite = %v", got)
+	}
+	if got := AngleBetween([]float64{3, 3}, []float64{1, 1}); !almostEqual(got, 0, 1e-7) {
+		t.Errorf("parallel = %v", got)
+	}
+	if got := AngleBetween([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("zero vector = %v", got)
+	}
+}
+
+func TestTolForScale(t *testing.T) {
+	if tol := TolForScale(0, 3); tol <= 0 {
+		t.Errorf("tol for zero scale must stay positive: %v", tol)
+	}
+	if t1, t2 := TolForScale(1, 3), TolForScale(100, 3); t2 <= t1 {
+		t.Errorf("tolerance should grow with scale: %v vs %v", t1, t2)
+	}
+	pts := [][]float64{{1000, 0}, {0, 1}}
+	if tol := TolFor(pts, 2); tol != TolForScale(1000, 2) {
+		t.Errorf("TolFor = %v", tol)
+	}
+}

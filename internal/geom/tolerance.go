@@ -1,0 +1,25 @@
+package geom
+
+import "math"
+
+// DefaultTolFactor is the relative factor used to derive an absolute
+// distance tolerance from the coordinate scale of a data set. It mirrors
+// qhull's DISTROUND philosophy: roundoff in a d-dimensional inner product
+// grows with d and with the magnitude of the coordinates.
+const DefaultTolFactor = 1e-10
+
+// TolForScale derives the absolute distance tolerance for points whose
+// coordinates are bounded by scale in absolute value, in dimension d.
+// A small floor keeps the tolerance positive for all-zero data.
+func TolForScale(scale float64, d int) float64 {
+	t := DefaultTolFactor * float64(d) * scale
+	if t < 1e-300 || math.IsNaN(t) {
+		t = 1e-300
+	}
+	return t
+}
+
+// TolFor derives the absolute distance tolerance for a concrete point set.
+func TolFor(pts [][]float64, d int) float64 {
+	return TolForScale(MaxAbs(pts), d)
+}

@@ -1,0 +1,214 @@
+// Package geom provides the low-level vector and hyperplane arithmetic
+// used by the convex-hull and Onion-index packages.
+//
+// All routines operate on []float64 slices of a fixed dimension d. They
+// are deliberately allocation-conscious: the hot paths of hull
+// construction (dot products, point–plane distances) never allocate, and
+// variants with a dst parameter let callers reuse scratch buffers.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product a·b. The slices must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("geom: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, ai := range a {
+		s += ai * b[i]
+	}
+	return s
+}
+
+// Sub stores a-b into dst and returns dst. dst may alias a or b.
+// If dst is nil a new slice is allocated.
+func Sub(dst, a, b []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(a))
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// Add stores a+b into dst and returns dst. dst may alias a or b.
+func Add(dst, a, b []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(a))
+	}
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// Scale stores s*a into dst and returns dst. dst may alias a.
+func Scale(dst []float64, s float64, a []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(a))
+	}
+	for i := range a {
+		dst[i] = s * a[i]
+	}
+	return dst
+}
+
+// AXPY stores a + s*b into dst and returns dst. dst may alias a or b.
+func AXPY(dst []float64, a []float64, s float64, b []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(a))
+	}
+	for i := range a {
+		dst[i] = a[i] + s*b[i]
+	}
+	return dst
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm2 returns the squared Euclidean norm of a.
+func Norm2(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Dist2 returns the squared Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Normalize scales a in place to unit length and returns its former norm.
+// A zero vector is left unchanged and 0 is returned.
+func Normalize(a []float64) float64 {
+	n := Norm(a)
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] *= inv
+	}
+	return n
+}
+
+// Clone returns a newly allocated copy of a.
+func Clone(a []float64) []float64 {
+	c := make([]float64, len(a))
+	copy(c, a)
+	return c
+}
+
+// Equal reports whether a and b are element-wise identical.
+func Equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualTol reports whether every element of a is within tol of the
+// corresponding element of b.
+func EqualTol(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Centroid stores the arithmetic mean of the points (rows of pts,
+// selected by idxs; all points if idxs is nil) into dst and returns dst.
+func Centroid(dst []float64, pts [][]float64, idxs []int) []float64 {
+	if dst == nil {
+		switch {
+		case idxs != nil && len(idxs) > 0:
+			dst = make([]float64, len(pts[idxs[0]]))
+		case idxs == nil && len(pts) > 0:
+			dst = make([]float64, len(pts[0]))
+		default:
+			return nil
+		}
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	n := 0
+	if idxs == nil {
+		for _, p := range pts {
+			Add(dst, dst, p)
+		}
+		n = len(pts)
+	} else {
+		for _, ix := range idxs {
+			Add(dst, dst, pts[ix])
+		}
+		n = len(idxs)
+	}
+	if n > 0 {
+		Scale(dst, 1/float64(n), dst)
+	}
+	return dst
+}
+
+// MaxAbs returns the largest absolute coordinate over all points.
+// It is the natural scale for distance tolerances.
+func MaxAbs(pts [][]float64) float64 {
+	var m float64
+	for _, p := range pts {
+		for _, v := range p {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+// Lexicographically reports whether a < b in lexicographic coordinate order.
+func Lexicographically(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{0, 0}, []float64{1, 1}, 0},
+		{[]float64{-1, 1}, []float64{1, 1}, 0},
+		{[]float64{2}, []float64{3}, 6},
+		{nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); got != c.want {
+			t.Errorf("Dot(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestSubAddScaleAXPY(t *testing.T) {
+	a := []float64{3, 5, 7}
+	b := []float64{1, 2, 3}
+	if got := Sub(nil, a, b); !Equal(got, []float64{2, 3, 4}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Add(nil, a, b); !Equal(got, []float64{4, 7, 10}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Scale(nil, 2, b); !Equal(got, []float64{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := AXPY(nil, a, -1, b); !Equal(got, []float64{2, 3, 4}) {
+		t.Errorf("AXPY = %v", got)
+	}
+	// Aliasing: dst == a must be safe.
+	dst := Clone(a)
+	Sub(dst, dst, b)
+	if !Equal(dst, []float64{2, 3, 4}) {
+		t.Errorf("aliased Sub = %v", dst)
+	}
+}
+
+func TestNormDist(t *testing.T) {
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := Dist([]float64{1, 1}, []float64{4, 5}); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := Dist2([]float64{1, 1}, []float64{4, 5}); got != 25 {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	if n := Normalize(v); n != 5 {
+		t.Errorf("Normalize returned %v, want 5", n)
+	}
+	if !EqualTol(v, []float64{0.6, 0.8}, 1e-15) {
+		t.Errorf("normalized = %v", v)
+	}
+	z := []float64{0, 0}
+	if n := Normalize(z); n != 0 || !Equal(z, []float64{0, 0}) {
+		t.Errorf("Normalize(0) = %v, vec %v", n, z)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	if got := Centroid(nil, pts, nil); !Equal(got, []float64{1, 1}) {
+		t.Errorf("Centroid all = %v", got)
+	}
+	if got := Centroid(nil, pts, []int{0, 3}); !Equal(got, []float64{1, 1}) {
+		t.Errorf("Centroid subset = %v", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	pts := [][]float64{{-7, 2}, {3, 5}}
+	if got := MaxAbs(pts); got != 7 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Errorf("MaxAbs(nil) = %v", got)
+	}
+}
+
+func TestLexicographically(t *testing.T) {
+	if !Lexicographically([]float64{1, 5}, []float64{2, 0}) {
+		t.Error("1,5 should be < 2,0")
+	}
+	if Lexicographically([]float64{1, 5}, []float64{1, 5}) {
+		t.Error("equal vectors are not <")
+	}
+	if !Lexicographically([]float64{1, 4}, []float64{1, 5}) {
+		t.Error("ties broken by later coordinates")
+	}
+}
+
+func TestDotBilinearProperty(t *testing.T) {
+	// Property: Dot(a+b, c) == Dot(a,c) + Dot(b,c) up to roundoff.
+	f := func(a, b, c [4]float64) bool {
+		as, bs, cs := a[:], b[:], c[:]
+		for i := 0; i < 4; i++ {
+			// Keep magnitudes finite so the identity is not destroyed by
+			// overflow; quick generates full-range float64s.
+			as[i] = math.Mod(as[i], 1e6)
+			bs[i] = math.Mod(bs[i], 1e6)
+			cs[i] = math.Mod(cs[i], 1e6)
+		}
+		lhs := Dot(Add(nil, as, bs), cs)
+		rhs := Dot(as, cs) + Dot(bs, cs)
+		if math.IsNaN(lhs) || math.IsNaN(rhs) {
+			return true
+		}
+		scale := math.Abs(lhs) + math.Abs(rhs) + 1
+		return almostEqual(lhs, rhs, 1e-9*scale)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b [5]float64) bool {
+		as, bs := a[:], b[:]
+		lhs := math.Abs(Dot(as, bs))
+		rhs := Norm(as) * Norm(bs)
+		return lhs <= rhs*(1+1e-12) || math.IsNaN(lhs) || math.IsInf(rhs, 1)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSingleClusterHierarchy(t *testing.T) {
+	groups := map[string][]core.Record{
+		"only": {
+			{ID: 1, Vector: []float64{0, 0}},
+			{ID: 2, Vector: []float64{4, 0}},
+			{ID: 3, Vector: []float64{0, 4}},
+			{ID: 4, Vector: []float64{1, 1}},
+		},
+	}
+	h, err := Build(groups, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := h.TopN([]float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || st.ChildrenQueried != 1 {
+		t.Fatalf("res=%v stats=%+v", res, st)
+	}
+	if res[0].Score != 4 {
+		t.Errorf("top score %v", res[0].Score)
+	}
+}
+
+func TestSingletonClusters(t *testing.T) {
+	// One record per cluster: the parent IS the whole data set; global
+	// queries must still be exact.
+	groups := map[string][]core.Record{
+		"a": {{ID: 1, Vector: []float64{5, 0}}},
+		"b": {{ID: 2, Vector: []float64{0, 5}}},
+		"c": {{ID: 3, Vector: []float64{3, 3}}},
+	}
+	h, err := Build(groups, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Parent().Len() != 3 {
+		t.Fatalf("parent has %d records", h.Parent().Len())
+	}
+	res, _, err := h.TopN([]float64{1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[0].ID != 3 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestEmptyGroupSkipped(t *testing.T) {
+	groups := map[string][]core.Record{
+		"full":  {{ID: 1, Vector: []float64{1, 0}}, {ID: 2, Vector: []float64{0, 1}}, {ID: 3, Vector: []float64{1, 1}}},
+		"empty": {},
+	}
+	h, err := Build(groups, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Labels()) != 1 || h.Labels()[0] != "full" {
+		t.Fatalf("labels = %v", h.Labels())
+	}
+}
+
+func TestOveraskAcrossClusters(t *testing.T) {
+	groups := map[string][]core.Record{
+		"a": {{ID: 1, Vector: []float64{1, 0}}, {ID: 2, Vector: []float64{2, 0}}, {ID: 3, Vector: []float64{3, 0}}},
+		"b": {{ID: 4, Vector: []float64{0, 1}}, {ID: 5, Vector: []float64{0, 2}}, {ID: 6, Vector: []float64{0, 3}}},
+	}
+	h, err := Build(groups, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ask for more than exist: exhaustive mode returns all 6.
+	res, _, err := h.TopNExhaustive([]float64{1, 1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("overask returned %d of 6", len(res))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range res {
+		if seen[r.ID] {
+			t.Fatalf("duplicate %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}

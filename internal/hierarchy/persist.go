@@ -1,0 +1,97 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// On-disk layout of a hierarchy: a directory holding one Onion index
+// file per child plus a manifest naming them. The parent Onion is NOT
+// persisted — it is derived data (the children's outermost layers) and
+// is rebuilt on load, which costs one small hull peel and keeps the
+// files free of redundancy.
+
+// manifest is the JSON descriptor written alongside the child files.
+type manifest struct {
+	Version  int      `json:"version"`
+	Dim      int      `json:"dim"`
+	Children []string `json:"children"` // labels, sorted; file i is child_i.onion
+}
+
+const manifestName = "hierarchy.json"
+
+// childFile returns the index filename for the i-th child.
+func childFile(i int) string { return fmt.Sprintf("child_%d.onion", i) }
+
+// Save writes the hierarchy into dir (created if needed): one paged
+// index file per child plus hierarchy.json.
+func (h *Hierarchy) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m := manifest{Version: 1, Dim: h.dim}
+	for i, c := range h.children {
+		if err := storage.Write(filepath.Join(dir, childFile(i)), c.Index); err != nil {
+			return fmt.Errorf("hierarchy: save child %q: %w", c.Label, err)
+		}
+		m.Children = append(m.Children, c.Label)
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestName))
+}
+
+// Load reads a hierarchy saved with Save. Child layer partitions are
+// restored exactly (no re-peeling); the parent Onion is rebuilt from
+// the children's outermost layers.
+func Load(dir string) (*Hierarchy, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("hierarchy: bad manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("hierarchy: unsupported manifest version %d", m.Version)
+	}
+	if len(m.Children) == 0 {
+		return nil, fmt.Errorf("hierarchy: manifest lists no children")
+	}
+	h := &Hierarchy{dim: m.Dim, byLabel: make(map[string]int), origin: make(map[uint64]int)}
+	var parentRecs []core.Record
+	for i, label := range m.Children {
+		ix, err := storage.Load(filepath.Join(dir, childFile(i)))
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: load child %q: %w", label, err)
+		}
+		if ix.Dim() != m.Dim {
+			return nil, fmt.Errorf("hierarchy: child %q has dimension %d, manifest says %d", label, ix.Dim(), m.Dim)
+		}
+		ord := len(h.children)
+		h.children = append(h.children, Child{Label: label, Index: ix})
+		h.byLabel[label] = ord
+		for _, r := range ix.Layer(0) {
+			parentRecs = append(parentRecs, r)
+			h.origin[r.ID] = ord
+		}
+	}
+	parent, err := core.Build(parentRecs, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: rebuild parent: %w", err)
+	}
+	h.parent = parent
+	return h, nil
+}

@@ -1,0 +1,102 @@
+package hierarchy
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	groups, all := twoClusterData(150, 21)
+	h, err := Build(groups, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "hier")
+	if err := h.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != h.Len() || back.Dim() != h.Dim() {
+		t.Fatalf("len=%d dim=%d, want %d/%d", back.Len(), back.Dim(), h.Len(), h.Dim())
+	}
+	if got, want := back.Labels(), h.Labels(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("labels %v, want %v", got, want)
+	}
+	if back.Parent().Len() != h.Parent().Len() {
+		t.Errorf("parent %d records, want %d", back.Parent().Len(), h.Parent().Len())
+	}
+	// Identical global answers.
+	w := []float64{0.6, 0.4}
+	a, _, err := h.TopN(w, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := back.TopN(w, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+			t.Fatalf("rank %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	_ = all
+	// Local answers too.
+	la, _, err := h.TopNWhere(w, 5, func(l string) bool { return l == "white" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _, err := back.TopNWhere(w, 5, func(l string) bool { return l == "white" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range la {
+		if la[i].ID != lb[i].ID {
+			t.Fatalf("local rank %d: %d vs %d", i, la[i].ID, lb[i].ID)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing directory loaded")
+	}
+	// Corrupt manifest.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("corrupt manifest loaded")
+	}
+	// Valid manifest, missing child file.
+	if err := os.WriteFile(filepath.Join(dir, manifestName),
+		[]byte(`{"version":1,"dim":2,"children":["a"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("missing child file loaded")
+	}
+	// Unsupported version.
+	if err := os.WriteFile(filepath.Join(dir, manifestName),
+		[]byte(`{"version":9,"dim":2,"children":["a"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("future version loaded")
+	}
+	// Empty children list.
+	if err := os.WriteFile(filepath.Join(dir, manifestName),
+		[]byte(`{"version":1,"dim":2,"children":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("childless manifest loaded")
+	}
+}

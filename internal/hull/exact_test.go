@@ -1,0 +1,135 @@
+package hull
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// TestHullExactVerification proves with exact rational arithmetic that
+// the floating-point hull is sound: for every facet, every input point
+// lies on the inner side of the plane through the facet's vertices, or
+// within the declared float tolerance of it. This is the strongest
+// correctness statement the test suite makes about the hull.
+func TestHullExactVerification(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, tc := range []struct {
+		dist workload.Distribution
+		n, d int
+	}{
+		{workload.Gaussian, 120, 2},
+		{workload.Uniform, 120, 2},
+		{workload.Gaussian, 100, 3},
+		{workload.Uniform, 100, 3},
+		{workload.Gaussian, 80, 4},
+	} {
+		pts := workload.Points(tc.dist, tc.n, tc.d, int64(tc.n+tc.d))
+		h, err := Compute(pts, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		facets := h.FacetVertices()
+		if len(facets) == 0 {
+			t.Fatalf("%v %dD: no facet tuples", tc.dist, tc.d)
+		}
+		center := make([]float64, tc.d)
+		for _, v := range h.Vertices {
+			geom.Add(center, center, pts[v])
+		}
+		geom.Scale(center, 1/float64(len(h.Vertices)), center)
+		for fi, fv := range facets {
+			if len(fv) != tc.d {
+				t.Fatalf("facet %d has %d vertices in %dD", fi, len(fv), tc.d)
+			}
+			base := make([][]float64, tc.d)
+			for i, v := range fv {
+				base[i] = pts[v]
+			}
+			inner := geom.OrientSign(base, center)
+			if inner == 0 {
+				// The centroid can only be coplanar with a facet if the
+				// hull is flat, which full-rank inputs rule out.
+				t.Fatalf("%v %dD: centroid coplanar with facet %d", tc.dist, tc.d, fi)
+			}
+			// Every point must be on the centroid's side (or coplanar),
+			// modulo the float tolerance band.
+			pl, perr := geom.PlaneThrough(pts, fv, 1e-13)
+			for pi, p := range pts {
+				s := geom.OrientSign(base, p)
+				if s == 0 || s == inner {
+					continue
+				}
+				// Exact arithmetic says p is strictly outside this
+				// facet's plane; that is acceptable only within the
+				// tolerance band.
+				if perr == nil {
+					if d := pl.Dist(p); d > -1e-8 && d < 1e-8 {
+						continue
+					}
+					// Distance sign depends on plane orientation; check
+					// magnitude only.
+				}
+				t.Fatalf("%v %dD: point %d lies strictly outside facet %d (exact sign %d vs inner %d)",
+					tc.dist, tc.d, pi, fi, s, inner)
+			}
+		}
+		// Spot check a rotationally random direction with exact maxima:
+		// the float argmax over all points must be attainable among the
+		// hull vertices (score ties resolved exactly elsewhere; here the
+		// float comparison with a tiny margin suffices as the exact part
+		// is the facet soundness above).
+		for trial := 0; trial < 5; trial++ {
+			dir := make([]float64, tc.d)
+			for j := range dir {
+				dir[j] = rng.NormFloat64()
+			}
+			bestAll, bestV := -1e300, -1e300
+			for _, p := range pts {
+				if s := geom.Dot(dir, p); s > bestAll {
+					bestAll = s
+				}
+			}
+			for _, v := range h.Vertices {
+				if s := geom.Dot(dir, pts[v]); s > bestV {
+					bestV = s
+				}
+			}
+			if bestV < bestAll-1e-9 {
+				t.Fatalf("%v %dD: vertex max %v < global max %v", tc.dist, tc.d, bestV, bestAll)
+			}
+		}
+	}
+}
+
+// TestHullExactOnGrid runs the exact facet verification on the integer
+// grid, where every coordinate is exactly representable and massive
+// coplanarity stresses the tolerance policy.
+func TestHullExactOnGrid(t *testing.T) {
+	var pts [][]float64
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			for z := 0; z < 4; z++ {
+				pts = append(pts, []float64{float64(x), float64(y), float64(z)})
+			}
+		}
+	}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := []float64{1.5, 1.5, 1.5}
+	for fi, fv := range h.FacetVertices() {
+		base := [][]float64{pts[fv[0]], pts[fv[1]], pts[fv[2]]}
+		inner := geom.OrientSign(base, center)
+		if inner == 0 {
+			t.Fatalf("facet %d through the center", fi)
+		}
+		for pi, p := range pts {
+			if s := geom.OrientSign(base, p); s != 0 && s != inner {
+				t.Fatalf("grid point %d exactly outside facet %d", pi, fi)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package hull
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFacetVertices2D(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := h.FacetVertices()
+	if len(fv) != 4 {
+		t.Fatalf("square has %d edges, want 4", len(fv))
+	}
+	// Each edge is a pair of distinct hull vertices; together they form
+	// a single cycle covering all 4 corners.
+	degree := map[int]int{}
+	for _, e := range fv {
+		if len(e) != 2 || e[0] == e[1] {
+			t.Fatalf("bad edge %v", e)
+		}
+		degree[e[0]]++
+		degree[e[1]]++
+		for _, v := range e {
+			if v == 4 {
+				t.Fatalf("interior point in edge %v", e)
+			}
+		}
+	}
+	for v, d := range degree {
+		if d != 2 {
+			t.Errorf("vertex %d has ring degree %d", v, d)
+		}
+	}
+	// Mutating the returned slices must not corrupt the hull.
+	fv[0][0] = 999
+	if fv2 := h.FacetVertices(); fv2[0][0] == 999 {
+		t.Error("FacetVertices returned shared storage")
+	}
+}
+
+func TestFacetVertices3DEuler(t *testing.T) {
+	pts := workload.Points(workload.Sphere, 100, 3, 7)
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := h.FacetVertices()
+	// A simplicial 3D hull satisfies Euler's formula with F = 2V - 4.
+	if want := 2*len(h.Vertices) - 4; len(fv) != want {
+		t.Errorf("F = %d, Euler predicts %d for V = %d", len(fv), want, len(h.Vertices))
+	}
+	for _, f := range fv {
+		if len(f) != 3 {
+			t.Fatalf("non-triangular facet %v", f)
+		}
+	}
+}
+
+func TestFacetVerticesDegenerateProjection(t *testing.T) {
+	// A planar square embedded in 3D: facets come from the projected 2D
+	// hull but must index the original points.
+	pts := [][]float64{{0, 0, 1}, {2, 0, 1}, {2, 2, 1}, {0, 2, 1}, {1, 1, 1}}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rank != 2 {
+		t.Fatalf("rank = %d", h.Rank)
+	}
+	fv := h.FacetVertices()
+	if len(fv) != 4 {
+		t.Fatalf("projected square has %d edges", len(fv))
+	}
+	for _, e := range fv {
+		for _, v := range e {
+			if v < 0 || v > 3 {
+				t.Errorf("edge references %d", v)
+			}
+		}
+	}
+}
+
+func TestDimensionCap(t *testing.T) {
+	// Dimensions beyond the ridge-key arity must fail with a clear
+	// error, not corrupt memory. maxRidgeArity+3 = first unsupported.
+	d := maxRidgeArity + 3
+	var pts [][]float64
+	// A cross-polytope in d dims is full rank with 2d+2 points.
+	for i := 0; i < d; i++ {
+		for _, s := range []float64{-1, 1} {
+			p := make([]float64, d)
+			p[i] = s
+			pts = append(pts, p)
+		}
+	}
+	center := make([]float64, d)
+	center[0] = 0.01
+	pts = append(pts, center)
+	_, err := Compute(pts, nil, Options{})
+	if err == nil {
+		t.Fatalf("dimension %d accepted", d)
+	}
+}
+
+func TestSupportedDimensionsUpToCap(t *testing.T) {
+	// d = 7 exercises the high end of the array ridge keys.
+	d := 7
+	var pts [][]float64
+	for i := 0; i < d; i++ {
+		for _, s := range []float64{-1, 1} {
+			p := make([]float64, d)
+			p[i] = s * 2
+			pts = append(pts, p)
+		}
+	}
+	inner := make([]float64, d)
+	inner[1] = 0.1
+	pts = append(pts, inner)
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 2*d {
+		t.Fatalf("7D cross-polytope: %d vertices, want %d", len(h.Vertices), 2*d)
+	}
+}

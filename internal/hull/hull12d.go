@@ -1,0 +1,120 @@
+package hull
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// hull1D returns the extreme indices of a one-dimensional point set along
+// with the extent [lo,hi]. The two endpoints are the hull vertices (one
+// vertex when all points share a coordinate, which the rank dispatcher
+// already rules out).
+func hull1D(work [][]float64, sel []int) (verts []int, lo, hi float64) {
+	loIx, hiIx := sel[0], sel[0]
+	lo, hi = work[sel[0]][0], work[sel[0]][0]
+	for _, ix := range sel[1:] {
+		v := work[ix][0]
+		if v < lo {
+			lo, loIx = v, ix
+		}
+		if v > hi {
+			hi, hiIx = v, ix
+		}
+	}
+	if loIx == hiIx {
+		return []int{loIx}, lo, hi
+	}
+	return []int{loIx, hiIx}, lo, hi
+}
+
+// hull2D computes the convex hull of a planar point set with Andrew's
+// monotone chain in O(n log n), returning vertex indices, the edge
+// hyperplanes (outward-oriented), and an interior point.
+//
+// Collinear boundary points are NOT vertices: the cross-product test
+// discards points within tol of an edge, matching the quickhull path's
+// treatment of near-coplanar points.
+func hull2D(work [][]float64, sel []int, tol float64) (verts []int, planes []geom.Hyperplane, facetVerts [][]int, center []float64) {
+	idx := make([]int, len(sel))
+	copy(idx, sel)
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := work[idx[a]], work[idx[b]]
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		return pa[1] < pb[1]
+	})
+	// Drop exact duplicates so the chain test never compares a point
+	// against itself.
+	uniq := idx[:1]
+	for _, ix := range idx[1:] {
+		last := work[uniq[len(uniq)-1]]
+		p := work[ix]
+		if p[0] != last[0] || p[1] != last[1] {
+			uniq = append(uniq, ix)
+		}
+	}
+	idx = uniq
+	if len(idx) == 1 {
+		return []int{idx[0]}, nil, nil, geom.Clone(work[idx[0]])
+	}
+
+	// cross(o,a,b) > 0 means b is strictly left of the ray o->a;
+	// cross/|a-o| is the signed distance from b to the line through o,a.
+	// The chain keeps vertex a only when the turn o->a->b is convex
+	// (left) by more than tol, so near-collinear boundary points are
+	// dropped, matching the quickhull path's treatment.
+	cross := func(o, a, b []float64) float64 {
+		return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
+	}
+	build := func(seq []int) []int {
+		var chain []int
+		for _, ix := range seq {
+			for len(chain) >= 2 {
+				o, a := work[chain[len(chain)-2]], work[chain[len(chain)-1]]
+				if cross(o, a, work[ix]) <= tol*geom.Dist(o, a) {
+					chain = chain[:len(chain)-1]
+					continue
+				}
+				break
+			}
+			chain = append(chain, ix)
+		}
+		return chain
+	}
+	lower := build(idx)
+	rev := make([]int, len(idx))
+	for i, ix := range idx {
+		rev[len(idx)-1-i] = ix
+	}
+	upper := build(rev)
+
+	// Concatenate, dropping the duplicated endpoints.
+	ring := append(append([]int{}, lower...), upper[1:len(upper)-1]...)
+	verts = make([]int, len(ring))
+	copy(verts, ring)
+
+	center = geom.Centroid(nil, work, ring)
+	if len(ring) >= 2 {
+		planes = make([]geom.Hyperplane, 0, len(ring))
+		facetVerts = make([][]int, 0, len(ring))
+		for i := range ring {
+			a := work[ring[i]]
+			b := work[ring[(i+1)%len(ring)]]
+			// Outward normal of edge a->b for a counter-clockwise ring is
+			// (dy, -dx) ... the ring from monotone chain (lower then
+			// reversed upper) is counter-clockwise, so the left side is
+			// inside; normal points right of the edge direction.
+			n := []float64{b[1] - a[1], -(b[0] - a[0])}
+			if geom.Normalize(n) == 0 {
+				continue
+			}
+			h := geom.Hyperplane{Normal: n, Offset: geom.Dot(n, a)}
+			h.OrientAway(center, 0)
+			planes = append(planes, h)
+			facetVerts = append(facetVerts, []int{ring[i], ring[(i+1)%len(ring)]})
+		}
+	}
+	return verts, planes, facetVerts, center
+}

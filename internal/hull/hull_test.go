@@ -1,0 +1,463 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// bruteVertices returns the indices of pts[idxs] that are extreme points,
+// by the O(n^2) definition: p is a vertex iff some linear functional is
+// uniquely maximized at p among many random directions OR p is outside
+// the hull of the others. For testing we use the direction-sampling
+// necessary condition plus exact 2D cross-product checks where possible,
+// so tests compare against an independent oracle rather than the
+// implementation under test.
+func maxAlong(pts [][]float64, idxs []int, dir []float64) (best int, bestVal float64, unique bool) {
+	best = -1
+	for _, ix := range idxs {
+		v := geom.Dot(dir, pts[ix])
+		if best == -1 || v > bestVal {
+			best, bestVal, unique = ix, v, true
+		} else if v == bestVal {
+			unique = false
+		}
+	}
+	return
+}
+
+func sortedCopy(a []int) []int {
+	c := append([]int{}, a...)
+	sort.Ints(c)
+	return c
+}
+
+func containsInt(a []int, v int) bool {
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestHullSquare(t *testing.T) {
+	pts := [][]float64{
+		{0, 0}, {1, 0}, {1, 1}, {0, 1}, // corners
+		{0.5, 0.5}, {0.25, 0.75}, // interior
+		{0.5, 0}, // on an edge: not a vertex
+	}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rank != 2 || h.Dim != 2 {
+		t.Fatalf("rank=%d dim=%d", h.Rank, h.Dim)
+	}
+	want := []int{0, 1, 2, 3}
+	if got := sortedCopy(h.Vertices); len(got) != 4 || got[0] != 0 || got[1] != 1 || got[2] != 2 || got[3] != 3 {
+		t.Fatalf("vertices = %v, want %v", got, want)
+	}
+	for i, p := range pts {
+		if !h.Contains(p) {
+			t.Errorf("point %d should be inside", i)
+		}
+	}
+	if h.Contains([]float64{2, 0.5}) || h.Contains([]float64{0.5, -1}) {
+		t.Error("outside points reported inside")
+	}
+}
+
+func TestHullCube3D(t *testing.T) {
+	var pts [][]float64
+	for x := 0; x <= 1; x++ {
+		for y := 0; y <= 1; y++ {
+			for z := 0; z <= 1; z++ {
+				pts = append(pts, []float64{float64(x), float64(y), float64(z)})
+			}
+		}
+	}
+	// Interior and face-center points must not be vertices.
+	pts = append(pts, []float64{0.5, 0.5, 0.5}, []float64{0.5, 0.5, 0}, []float64{1, 0.5, 0.5})
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 8 {
+		t.Fatalf("cube has %d hull vertices, want 8: %v", len(h.Vertices), h.Vertices)
+	}
+	for _, v := range h.Vertices {
+		if v >= 8 {
+			t.Errorf("non-corner %d reported as vertex", v)
+		}
+	}
+	for i, p := range pts {
+		if !h.Contains(p) {
+			t.Errorf("point %d not contained", i)
+		}
+	}
+	if h.Contains([]float64{1.1, 0.5, 0.5}) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestHullSimplex4D(t *testing.T) {
+	pts := [][]float64{
+		{0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1},
+		{0.2, 0.2, 0.2, 0.2}, // interior
+	}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedCopy(h.Vertices); len(got) != 5 || got[4] != 4 {
+		t.Fatalf("vertices = %v", got)
+	}
+	if !h.Contains([]float64{0.1, 0.1, 0.1, 0.1}) {
+		t.Error("interior point not contained")
+	}
+	if h.Contains([]float64{0.5, 0.5, 0.5, 0.5}) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestHullDegenerateLineIn3D(t *testing.T) {
+	pts := [][]float64{{0, 0, 0}, {1, 2, 3}, {2, 4, 6}, {3, 6, 9}, {0.5, 1, 1.5}}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rank != 1 {
+		t.Fatalf("rank = %d, want 1", h.Rank)
+	}
+	if got := sortedCopy(h.Vertices); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("line hull vertices = %v, want [0 3]", got)
+	}
+	if !h.Contains([]float64{1.5, 3, 4.5}) {
+		t.Error("midpoint of segment not contained")
+	}
+	if h.Contains([]float64{4, 8, 12}) {
+		t.Error("point beyond segment end contained")
+	}
+	if h.Contains([]float64{1, 2, 4}) {
+		t.Error("point off the line contained")
+	}
+}
+
+func TestHullDegeneratePlaneIn3D(t *testing.T) {
+	// Square in the z=5 plane plus interior points.
+	pts := [][]float64{
+		{0, 0, 5}, {4, 0, 5}, {4, 4, 5}, {0, 4, 5},
+		{2, 2, 5}, {1, 3, 5},
+	}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rank != 2 {
+		t.Fatalf("rank = %d, want 2", h.Rank)
+	}
+	if got := sortedCopy(h.Vertices); len(got) != 4 || got[3] != 3 {
+		t.Fatalf("vertices = %v, want the 4 corners", got)
+	}
+	if !h.Contains([]float64{2, 2, 5}) {
+		t.Error("in-plane interior point not contained")
+	}
+	if h.Contains([]float64{2, 2, 5.1}) {
+		t.Error("point off the plane contained")
+	}
+	if h.Contains([]float64{5, 2, 5}) {
+		t.Error("in-plane exterior point contained")
+	}
+}
+
+func TestHullCoincidentPoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rank != 0 || len(h.Vertices) != 1 {
+		t.Fatalf("rank=%d vertices=%v", h.Rank, h.Vertices)
+	}
+	if !h.Contains([]float64{1, 1}) {
+		t.Error("the location itself not contained")
+	}
+	if h.Contains([]float64{1, 2}) {
+		t.Error("different location contained")
+	}
+}
+
+func TestHullEmptyAndSingle(t *testing.T) {
+	if _, err := Compute(nil, []int{}, Options{}); err != ErrNoPoints {
+		t.Errorf("empty: err = %v", err)
+	}
+	h, err := Compute([][]float64{{3, 4, 5}}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 1 || h.Vertices[0] != 0 {
+		t.Errorf("single-point hull = %v", h.Vertices)
+	}
+}
+
+func TestHullSubsetIndices(t *testing.T) {
+	pts := [][]float64{
+		{-10, -10}, // excluded
+		{0, 0}, {1, 0}, {0, 1}, {0.3, 0.3},
+		{10, 10}, // excluded
+	}
+	h, err := Compute(pts, []int{1, 2, 3, 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedCopy(h.Vertices)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("subset hull = %v, want [1 2 3]", got)
+	}
+}
+
+// TestHullDirectionalMaxima is the core linear-programming property the
+// Onion index depends on (Theorem 1): for any direction, the maximum over
+// the set is attained at a hull vertex.
+func TestHullDirectionalMaxima(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range []int{2, 3, 4, 5} {
+		for trial := 0; trial < 10; trial++ {
+			n := 60 + rng.Intn(100)
+			pts := make([][]float64, n)
+			for i := range pts {
+				pts[i] = make([]float64, d)
+				for j := range pts[i] {
+					pts[i][j] = rng.NormFloat64()
+				}
+			}
+			h, err := Compute(pts, nil, Options{})
+			if err != nil {
+				t.Fatalf("d=%d trial=%d: %v", d, trial, err)
+			}
+			all := make([]int, n)
+			for i := range all {
+				all[i] = i
+			}
+			dir := make([]float64, d)
+			for q := 0; q < 50; q++ {
+				for j := range dir {
+					dir[j] = rng.NormFloat64()
+				}
+				best, bestVal, _ := maxAlong(pts, all, dir)
+				vbest, vVal, _ := maxAlong(pts, h.Vertices, dir)
+				if math.Abs(bestVal-vVal) > 1e-9*(math.Abs(bestVal)+1) {
+					t.Fatalf("d=%d trial=%d: max over all (%d:%v) != max over vertices (%d:%v)",
+						d, trial, best, bestVal, vbest, vVal)
+				}
+			}
+		}
+	}
+}
+
+// TestHullContainsAll checks that every input point is inside the hull
+// and that clearly exterior points are not.
+func TestHullContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, d := range []int{2, 3, 4} {
+		n := 300
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := range pts[i] {
+				pts[i][j] = rng.Float64() - 0.5
+			}
+		}
+		h, err := Compute(pts, nil, Options{})
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		for i, p := range pts {
+			if !h.Contains(p) {
+				t.Fatalf("d=%d: input point %d not contained", d, i)
+			}
+		}
+		far := make([]float64, d)
+		for q := 0; q < 20; q++ {
+			for j := range far {
+				far[j] = (rng.Float64() - 0.5) * 10
+			}
+			if geom.Norm(far) > 2 && h.Contains(far) {
+				t.Fatalf("d=%d: far point %v contained", d, far)
+			}
+		}
+	}
+}
+
+// TestHullVertexMinimality: removing any reported vertex changes the
+// hull (i.e., the vertex is outside the hull of the remaining points).
+func TestHullVertexMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, d := range []int{2, 3} {
+		n := 100
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := range pts[i] {
+				pts[i][j] = rng.NormFloat64()
+			}
+		}
+		h, err := Compute(pts, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range h.Vertices {
+			rest := make([]int, 0, n-1)
+			for i := 0; i < n; i++ {
+				if i != v {
+					rest = append(rest, i)
+				}
+			}
+			h2, err := Compute(pts, rest, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h2.Contains(pts[v]) {
+				t.Errorf("d=%d: vertex %d is inside hull of the others (not extreme)", d, v)
+			}
+		}
+	}
+}
+
+// TestHullGrid exercises heavy coplanarity/collinearity: integer grids
+// have many boundary points that are not vertices.
+func TestHullGrid(t *testing.T) {
+	var pts [][]float64
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			pts = append(pts, []float64{float64(x), float64(y)})
+		}
+	}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 4 {
+		t.Fatalf("5x5 grid hull has %d vertices, want the 4 corners: %v", len(h.Vertices), h.Vertices)
+	}
+	for _, v := range h.Vertices {
+		p := pts[v]
+		if !((p[0] == 0 || p[0] == 4) && (p[1] == 0 || p[1] == 4)) {
+			t.Errorf("vertex %v is not a corner", p)
+		}
+	}
+}
+
+func TestHullGrid3D(t *testing.T) {
+	var pts [][]float64
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			for z := 0; z < 4; z++ {
+				pts = append(pts, []float64{float64(x), float64(y), float64(z)})
+			}
+		}
+	}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 8 {
+		t.Fatalf("4^3 grid hull has %d vertices, want 8 corners", len(h.Vertices))
+	}
+}
+
+func TestHullSphereSurface(t *testing.T) {
+	// All points on a sphere are vertices.
+	rng := rand.New(rand.NewSource(31))
+	n := 200
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		geom.Normalize(p)
+		pts[i] = p
+	}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != n {
+		t.Fatalf("sphere-surface hull has %d vertices, want all %d", len(h.Vertices), n)
+	}
+}
+
+func TestHullDuplicateVertices(t *testing.T) {
+	// Duplicates of an extreme point: exactly one copy may be a vertex.
+	pts := [][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1},
+		{1, 1}, {0, 0}, // duplicates of corners
+		{0.5, 0.5},
+	}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 4 {
+		t.Fatalf("hull with duplicates has %d vertices: %v", len(h.Vertices), h.Vertices)
+	}
+	if containsInt(h.Vertices, 6) {
+		t.Error("interior point reported as vertex")
+	}
+}
+
+func TestHullHighDim(t *testing.T) {
+	// 6D cross-polytope plus interior noise: vertices are the 12 axis points.
+	d := 6
+	var pts [][]float64
+	for i := 0; i < d; i++ {
+		for _, s := range []float64{-1, 1} {
+			p := make([]float64, d)
+			p[i] = s * 2
+			pts = append(pts, p)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = (rng.Float64() - 0.5) * 0.2
+		}
+		pts = append(pts, p)
+	}
+	h, err := Compute(pts, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 2*d {
+		t.Fatalf("cross-polytope hull has %d vertices, want %d", len(h.Vertices), 2*d)
+	}
+	for _, v := range h.Vertices {
+		if v >= 2*d {
+			t.Errorf("noise point %d reported as vertex", v)
+		}
+	}
+}
+
+func TestJoggleDeterministic(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	a, ampA := joggle(pts, []int{0, 1, 2}, 1e-9, 7, 2)
+	b, ampB := joggle(pts, []int{0, 1, 2}, 7e-10+3e-10, 7, 2)
+	_ = ampB
+	if ampA <= 0 {
+		t.Fatal("non-positive amplitude")
+	}
+	c, _ := joggle(pts, []int{0, 1, 2}, 1e-9, 7, 2)
+	for i := range a {
+		if !geom.Equal(a[i], c[i]) {
+			t.Fatal("joggle not deterministic")
+		}
+	}
+	_ = b
+	// Original points are untouched.
+	if !geom.Equal(pts[0], []float64{0, 0}) {
+		t.Fatal("joggle mutated input")
+	}
+}

@@ -1,0 +1,31 @@
+package hull
+
+import "math/rand"
+
+// joggle returns a perturbed copy of pts (only the idxs rows are
+// perturbed; others are shared) together with the perturbation amplitude.
+// The perturbation is deterministic in (seed, attempt) and its amplitude
+// grows geometrically with the attempt number, mirroring qhull's QJ
+// option. Joggling can only promote boundary points to vertices, never
+// demote true vertices far from other points, so the resulting vertex set
+// is safe for Onion layering (see package comment).
+func joggle(pts [][]float64, idxs []int, tol float64, seed int64, attempt int) ([][]float64, float64) {
+	amp := tol * 100
+	for i := 1; i < attempt; i++ {
+		amp *= 10
+	}
+	if amp == 0 {
+		amp = 1e-12
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(uint64(attempt)*0x9e3779b97f4a7c15)))
+	out := make([][]float64, len(pts))
+	copy(out, pts)
+	for _, ix := range idxs {
+		p := make([]float64, len(pts[ix]))
+		for j, v := range pts[ix] {
+			p[j] = v + amp*(2*rng.Float64()-1)
+		}
+		out[ix] = p
+	}
+	return out, amp
+}

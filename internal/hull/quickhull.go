@@ -1,0 +1,328 @@
+package hull
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// facet is one (d-1)-dimensional face of the growing hull.
+//
+// The vertex/neighbor convention is positional: neighbors[i] is the facet
+// sharing the ridge obtained by deleting vertices[i]. The simplex
+// constructor and the cone constructor both establish and preserve it.
+type facet struct {
+	vertices  []int // d point indices
+	neighbors []*facet
+	plane     geom.Hyperplane
+	outside   []int // points strictly above this facet (candidate vertices)
+	furthest  int   // position in outside of the farthest point
+	furthestD float64
+	visit     int // stamp for visibility flood fill
+}
+
+// dist is the signed point–plane distance, manually inlined because it
+// dominates the partition and redistribution passes.
+func (f *facet) dist(p []float64) float64 {
+	n := f.plane.Normal
+	s := -f.plane.Offset
+	for i, v := range n {
+		s += v * p[i]
+	}
+	return s
+}
+
+// addOutside appends point ix (at distance d above the facet) and tracks
+// the farthest point.
+func (f *facet) addOutside(ix int, d float64) {
+	if d > f.furthestD {
+		f.furthestD = d
+		f.furthest = len(f.outside)
+	}
+	f.outside = append(f.outside, ix)
+}
+
+// facetPool recycles retired facets — their vertex, neighbor, outside
+// and normal slices — which otherwise dominate allocation on large
+// peels (every cone step retires the visible set).
+type facetPool struct {
+	free []*facet
+	d    int
+}
+
+func (fp *facetPool) get() *facet {
+	if n := len(fp.free); n > 0 {
+		f := fp.free[n-1]
+		fp.free = fp.free[:n-1]
+		f.outside = f.outside[:0]
+		f.furthest = 0
+		f.furthestD = 0
+		f.visit = 0
+		return f
+	}
+	return &facet{
+		vertices:  make([]int, fp.d),
+		neighbors: make([]*facet, fp.d),
+	}
+}
+
+func (fp *facetPool) put(f *facet) {
+	f.outside = f.outside[:0]
+	fp.free = append(fp.free, f)
+}
+
+// quickhull computes the convex hull of work[sel...] in dimension
+// 3 <= d <= maxRidgeArity+2 using the incremental beneath-beyond
+// algorithm with outside sets. seed supplies d+1 affinely independent
+// indices for the initial simplex (produced by geom.SpanOf's greedy
+// farthest-point selection, which tends to be well conditioned). It
+// returns the vertex indices, the facet hyperplanes, and an interior
+// point.
+func quickhull(work [][]float64, sel []int, d int, tol float64, seed []int) (verts []int, planes []geom.Hyperplane, facetVerts [][]int, center []float64, err error) {
+	if len(seed) != d+1 {
+		return nil, nil, nil, nil, fmt.Errorf("%w: initial simplex has %d points, need %d", ErrNumeric, len(seed), d+1)
+	}
+	if d-2 > maxRidgeArity {
+		return nil, nil, nil, nil, fmt.Errorf("hull: dimension %d exceeds the supported maximum %d", d, maxRidgeArity+2)
+	}
+	center = geom.Centroid(nil, work, seed)
+	solver := newPlaneSolver(d)
+	pool := &facetPool{d: d}
+
+	// orientedPlane builds the hyperplane through vs, outward-oriented
+	// with respect to the fixed interior point.
+	orientedPlane := func(vs []int) (geom.Hyperplane, bool) {
+		n, off, ok := solver.through(work, vs, tol)
+		if !ok {
+			return geom.Hyperplane{}, false
+		}
+		h := geom.Hyperplane{Normal: n, Offset: off}
+		cd := h.Dist(center)
+		if cd == 0 {
+			return geom.Hyperplane{}, false
+		}
+		if cd > 0 {
+			h.Flip()
+		}
+		return h, true
+	}
+
+	// Build the d+1 simplex facets. Facet i omits seed[i]; its neighbor
+	// opposite vertex seed[m] is facet m.
+	simplex := make([]*facet, d+1)
+	for i := 0; i <= d; i++ {
+		f := pool.get()
+		f.vertices = f.vertices[:0]
+		for m := 0; m <= d; m++ {
+			if m != i {
+				f.vertices = append(f.vertices, seed[m])
+			}
+		}
+		pl, ok := orientedPlane(f.vertices)
+		if !ok {
+			return nil, nil, nil, nil, fmt.Errorf("%w: degenerate simplex facet", ErrNumeric)
+		}
+		f.plane = pl
+		simplex[i] = f
+	}
+	for i := 0; i <= d; i++ {
+		f := simplex[i]
+		for k, v := range f.vertices {
+			for m := 0; m <= d; m++ {
+				if seed[m] == v {
+					f.neighbors[k] = simplex[m]
+					break
+				}
+			}
+		}
+	}
+
+	// Partition all points into outside sets; interior points drop out
+	// here, which is what makes repeated Onion peeling affordable.
+	inSeed := make(map[int]bool, d+1)
+	for _, s := range seed {
+		inSeed[s] = true
+	}
+	for _, ix := range sel {
+		if inSeed[ix] {
+			continue
+		}
+		p := work[ix]
+		for _, f := range simplex {
+			if dd := f.dist(p); dd > tol {
+				f.addOutside(ix, dd)
+				break
+			}
+		}
+	}
+
+	// anyLive tracks one facet guaranteed to be on the hull, from which
+	// the final facet graph is collected by flood fill.
+	anyLive := simplex[0]
+
+	stack := make([]*facet, 0, 64)
+	for _, f := range simplex {
+		if len(f.outside) > 0 {
+			stack = append(stack, f)
+		}
+	}
+
+	visitStamp := 0
+	var visible []*facet
+	type ridge struct {
+		outer *facet // non-visible facet across the horizon
+		verts []int  // the d-1 ridge vertices (backing storage reused)
+		nbIdx int    // position of the visible facet in outer.neighbors
+	}
+	var horizon []ridge
+	var ridgeVertsBuf []int
+	var newFacets []*facet
+	subKeys := make(map[ridgeKey]subSlot)
+	retiredStamp := -1 // facets get visit = retiredStamp when recycled
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.visit == retiredStamp || len(f.outside) == 0 {
+			continue
+		}
+		apex := f.outside[f.furthest]
+		p := work[apex]
+
+		// Flood-fill the facets visible from p; record horizon ridges.
+		visitStamp++
+		visible = visible[:0]
+		horizon = horizon[:0]
+		ridgeVertsBuf = ridgeVertsBuf[:0]
+		f.visit = visitStamp
+		frontier := []*facet{f}
+		for len(frontier) > 0 {
+			g := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			visible = append(visible, g)
+			for k, nb := range g.neighbors {
+				if nb.visit == visitStamp {
+					continue
+				}
+				if nb.dist(p) > tol {
+					nb.visit = visitStamp
+					frontier = append(frontier, nb)
+					continue
+				}
+				// g -> nb crosses the horizon. The shared ridge is g's
+				// vertex list without vertices[k].
+				start := len(ridgeVertsBuf)
+				for m, v := range g.vertices {
+					if m != k {
+						ridgeVertsBuf = append(ridgeVertsBuf, v)
+					}
+				}
+				nbIdx := -1
+				for m, back := range nb.neighbors {
+					if back == g {
+						nbIdx = m
+						break
+					}
+				}
+				if nbIdx < 0 {
+					return nil, nil, nil, nil, fmt.Errorf("%w: asymmetric neighbor links", ErrNumeric)
+				}
+				horizon = append(horizon, ridge{outer: nb, verts: ridgeVertsBuf[start : start+d-1], nbIdx: nbIdx})
+			}
+		}
+		if len(horizon) < d {
+			return nil, nil, nil, nil, fmt.Errorf("%w: horizon of size %d in dimension %d", ErrNumeric, len(horizon), d)
+		}
+
+		// Build the cone of new facets over the horizon with apex p.
+		// Each new facet's vertices are [ridge..., apex]; position d-1
+		// (the apex) faces the outer facet across the horizon ridge.
+		newFacets = newFacets[:0]
+		clear(subKeys)
+		for _, r := range horizon {
+			nf := pool.get()
+			nf.vertices = nf.vertices[:d]
+			copy(nf.vertices, r.verts)
+			nf.vertices[d-1] = apex
+			pl, ok := orientedPlane(nf.vertices)
+			if !ok {
+				return nil, nil, nil, nil, fmt.Errorf("%w: degenerate cone facet", ErrNumeric)
+			}
+			nf.plane = pl
+			nf.neighbors[d-1] = r.outer
+			r.outer.neighbors[r.nbIdx] = nf
+			// Match the remaining d-1 ridges (those containing the apex).
+			for k := 0; k < d-1; k++ {
+				key := makeRidgeKey(nf.vertices, k, d-1)
+				if slot, ok := subKeys[key]; ok {
+					nf.neighbors[k] = slot.f
+					slot.f.neighbors[slot.k] = nf
+					delete(subKeys, key)
+				} else {
+					subKeys[key] = subSlot{f: nf, k: k}
+				}
+			}
+			newFacets = append(newFacets, nf)
+		}
+		if len(subKeys) != 0 {
+			return nil, nil, nil, nil, fmt.Errorf("%w: %d unmatched cone ridges", ErrNumeric, len(subKeys))
+		}
+
+		// Redistribute the outside points of the retired facets, then
+		// recycle them.
+		for _, g := range visible {
+			for _, ix := range g.outside {
+				if ix == apex {
+					continue
+				}
+				q := work[ix]
+				for _, nf := range newFacets {
+					if dd := nf.dist(q); dd > tol {
+						nf.addOutside(ix, dd)
+						break
+					}
+				}
+			}
+			g.visit = retiredStamp
+			pool.put(g)
+		}
+		anyLive = newFacets[0]
+		for _, nf := range newFacets {
+			if len(nf.outside) > 0 {
+				stack = append(stack, nf)
+			}
+		}
+	}
+
+	// Collect the surviving facet graph by flood fill from a live facet.
+	visitStamp++
+	frontier := []*facet{anyLive}
+	anyLive.visit = visitStamp
+	seen := make(map[int]bool)
+	for len(frontier) > 0 {
+		g := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		planes = append(planes, g.plane)
+		fv := make([]int, d)
+		copy(fv, g.vertices)
+		facetVerts = append(facetVerts, fv)
+		for _, v := range g.vertices {
+			if !seen[v] {
+				seen[v] = true
+				verts = append(verts, v)
+			}
+		}
+		for _, nb := range g.neighbors {
+			if nb.visit != visitStamp {
+				nb.visit = visitStamp
+				frontier = append(frontier, nb)
+			}
+		}
+	}
+	return verts, planes, facetVerts, center, nil
+}
+
+type subSlot struct {
+	f *facet
+	k int
+}

@@ -1,0 +1,146 @@
+package hull
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// planeSolver computes hyperplanes through d points with reusable
+// scratch space. geom.PlaneThrough allocates a fresh (d-1)×d matrix and
+// result vector per call; quickhull calls it once per facet — hundreds
+// of thousands of times on a million-point peel — so the allocation and
+// GC-scan cost dominated 4D builds (see DESIGN.md ablations). One
+// solver per quickhull invocation eliminates that churn. The algorithm
+// is identical: Gaussian elimination with partial pivoting, one free
+// variable, back-substitution, normalization.
+type planeSolver struct {
+	d     int
+	a     [][]float64 // (d-1)×d elimination workspace
+	colOf []int
+	used  []bool
+}
+
+func newPlaneSolver(d int) *planeSolver {
+	ps := &planeSolver{
+		d:     d,
+		a:     make([][]float64, d-1),
+		colOf: make([]int, 0, d-1),
+		used:  make([]bool, d),
+	}
+	for i := range ps.a {
+		ps.a[i] = make([]float64, d)
+	}
+	return ps
+}
+
+// through computes the unit normal and offset of the hyperplane through
+// pts[idxs[0..d-1]]. The returned normal is freshly allocated (it lives
+// in the facet); all intermediate work uses solver scratch. ok is false
+// when the points are affinely dependent relative to tol.
+func (ps *planeSolver) through(pts [][]float64, idxs []int, tol float64) (normal []float64, offset float64, ok bool) {
+	d := ps.d
+	p0 := pts[idxs[0]]
+	for i := 1; i < d; i++ {
+		row := ps.a[i-1]
+		pi := pts[idxs[i]]
+		for j := 0; j < d; j++ {
+			row[j] = pi[j] - p0[j]
+		}
+	}
+	r := d - 1
+	ps.colOf = ps.colOf[:0]
+	for j := range ps.used {
+		ps.used[j] = false
+	}
+	row := 0
+	for col := 0; col < d && row < r; col++ {
+		best, bestAbs := -1, 0.0
+		for i := row; i < r; i++ {
+			if ab := math.Abs(ps.a[i][col]); ab > bestAbs {
+				best, bestAbs = i, ab
+			}
+		}
+		if bestAbs <= tol {
+			continue
+		}
+		ps.a[row], ps.a[best] = ps.a[best], ps.a[row]
+		piv := ps.a[row][col]
+		for i := 0; i < r; i++ {
+			if i == row {
+				continue
+			}
+			f := ps.a[i][col] / piv
+			if f == 0 {
+				continue
+			}
+			rowi, rowp := ps.a[i], ps.a[row]
+			for j := col; j < d; j++ {
+				rowi[j] -= f * rowp[j]
+			}
+			rowi[col] = 0
+		}
+		ps.colOf = append(ps.colOf, col)
+		ps.used[col] = true
+		row++
+	}
+	if row < r {
+		return nil, 0, false
+	}
+	free := -1
+	for c := 0; c < d; c++ {
+		if !ps.used[c] {
+			free = c
+			break
+		}
+	}
+	n := make([]float64, d)
+	n[free] = 1
+	for i := r - 1; i >= 0; i-- {
+		c := ps.colOf[i]
+		var s float64
+		rowi := ps.a[i]
+		for j := 0; j < d; j++ {
+			if j != c {
+				s += rowi[j] * n[j]
+			}
+		}
+		n[c] = -s / rowi[c]
+	}
+	if geom.Normalize(n) == 0 {
+		return nil, 0, false
+	}
+	return n, geom.Dot(n, p0), true
+}
+
+// maxRidgeArity bounds the dimensions served by the allocation-free
+// array ridge key (d-2 entries); higher dimensions fall back to string
+// keys.
+const maxRidgeArity = 8
+
+// ridgeKey is a canonical (sorted) fixed-size encoding of up to
+// maxRidgeArity vertex indices — a comparable array, so map operations
+// do not allocate.
+type ridgeKey struct {
+	n int
+	v [maxRidgeArity]int32
+}
+
+// makeRidgeKey builds the key for the sub-ridge of vs with positions
+// skip and apexPos removed, insertion-sorting into the fixed array.
+func makeRidgeKey(vs []int, skip, apexPos int) ridgeKey {
+	var k ridgeKey
+	for i, v := range vs {
+		if i == skip || i == apexPos {
+			continue
+		}
+		j := k.n
+		for j > 0 && k.v[j-1] > int32(v) {
+			k.v[j] = k.v[j-1]
+			j--
+		}
+		k.v[j] = int32(v)
+		k.n++
+	}
+	return k
+}

@@ -1,0 +1,200 @@
+// Package lp implements Seidel's randomized incremental linear
+// programming algorithm (paper reference [13]: "Linear programming and
+// convex hulls made easy"), expected O(n) time for fixed dimension.
+//
+// The paper's Section 2 positions classical LP as the cornerstone the
+// Onion technique builds on: a linear optimization query over a convex
+// region attains its optimum at a vertex. This package provides that
+// classical primitive both for completeness and as an independent
+// correctness oracle: maximizing c·x over an Onion layer's facet
+// hyperplanes must yield the same value as scanning the layer's
+// vertices.
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Constraint is the half-space A·x <= B.
+type Constraint struct {
+	A []float64
+	B float64
+}
+
+// ErrInfeasible is returned when the constraint set is empty.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the optimum exceeds the bounding box,
+// i.e. the LP is unbounded (or bounded only beyond Options.Bound).
+var ErrUnbounded = errors.New("lp: unbounded within the bounding box")
+
+// Options tunes the solver.
+type Options struct {
+	// Bound is the half-width M of the implicit bounding box |x_i| <= M
+	// that makes every subproblem bounded. Zero selects 1e9.
+	Bound float64
+	// Seed feeds the constraint shuffle.
+	Seed int64
+	// Eps is the violation tolerance. Zero selects 1e-9.
+	Eps float64
+}
+
+// Maximize solves max c·x subject to the constraints (plus the implicit
+// bounding box). It returns an optimal point; if the optimum sits on the
+// bounding box the problem is reported unbounded.
+func Maximize(cons []Constraint, c []float64, opt Options) ([]float64, error) {
+	d := len(c)
+	if d == 0 {
+		return nil, errors.New("lp: empty objective")
+	}
+	m := opt.Bound
+	if m == 0 {
+		m = 1e9
+	}
+	eps := opt.Eps
+	if eps == 0 {
+		eps = 1e-9
+	}
+	shuffled := make([]Constraint, len(cons))
+	copy(shuffled, cons)
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	x, err := solve(shuffled, c, m, eps)
+	if err != nil {
+		return nil, err
+	}
+	for _, xi := range x {
+		if math.Abs(xi) >= m*(1-1e-6) {
+			return x, ErrUnbounded
+		}
+	}
+	return x, nil
+}
+
+// solve is the recursive core: maximize c·x over cons within |x_i|<=m.
+func solve(cons []Constraint, c []float64, m, eps float64) ([]float64, error) {
+	d := len(c)
+	if d == 1 {
+		lo, hi := -m, m
+		for _, h := range cons {
+			a, b := h.A[0], h.B
+			switch {
+			case a > eps:
+				if v := b / a; v < hi {
+					hi = v
+				}
+			case a < -eps:
+				if v := b / a; v > lo {
+					lo = v
+				}
+			default:
+				if b < -eps {
+					return nil, ErrInfeasible
+				}
+			}
+		}
+		if lo > hi+eps {
+			return nil, ErrInfeasible
+		}
+		if c[0] >= 0 {
+			return []float64{hi}, nil
+		}
+		return []float64{lo}, nil
+	}
+
+	// Start at the bounding-box corner maximizing c.
+	x := make([]float64, d)
+	for i, ci := range c {
+		if ci >= 0 {
+			x[i] = m
+		} else {
+			x[i] = -m
+		}
+	}
+	for i, h := range cons {
+		if geom.Dot(h.A, x) <= h.B+eps {
+			continue // still satisfied; optimum unchanged
+		}
+		// The optimum of the first i+1 constraints lies on h's boundary:
+		// recurse in d-1 dimensions on that hyperplane.
+		sub, err := onBoundary(h, cons[:i], c, m, eps)
+		if err != nil {
+			return nil, err
+		}
+		x = sub
+	}
+	return x, nil
+}
+
+// onBoundary maximizes c·x over prior constraints restricted to the
+// hyperplane A·x = B of h.
+func onBoundary(h Constraint, prior []Constraint, c []float64, m, eps float64) ([]float64, error) {
+	d := len(c)
+	n := geom.Clone(h.A)
+	nn := geom.Normalize(n)
+	if nn == 0 {
+		if h.B < -eps {
+			return nil, ErrInfeasible
+		}
+		return nil, errors.New("lp: zero constraint normal")
+	}
+	// p0: the point of the hyperplane closest to the origin.
+	p0 := geom.Scale(nil, h.B/nn, n)
+	// Orthonormal basis of the hyperplane: complete n to a full basis by
+	// Gram–Schmidt over the coordinate axes.
+	basis := make([][]float64, 0, d-1)
+	for axis := 0; axis < d && len(basis) < d-1; axis++ {
+		v := make([]float64, d)
+		v[axis] = 1
+		geom.AXPY(v, v, -geom.Dot(n, v), n)
+		for _, e := range basis {
+			geom.AXPY(v, v, -geom.Dot(e, v), e)
+		}
+		if geom.Normalize(v) > 1e-12 {
+			basis = append(basis, v)
+		}
+	}
+	if len(basis) != d-1 {
+		return nil, errors.New("lp: failed to build hyperplane basis")
+	}
+	// Transform constraints and objective into y-coordinates
+	// (x = p0 + Σ y_k basis_k).
+	subCons := make([]Constraint, 0, len(prior))
+	for _, pc := range prior {
+		a := make([]float64, d-1)
+		for k, e := range basis {
+			a[k] = geom.Dot(pc.A, e)
+		}
+		subCons = append(subCons, Constraint{A: a, B: pc.B - geom.Dot(pc.A, p0)})
+	}
+	subC := make([]float64, d-1)
+	for k, e := range basis {
+		subC[k] = geom.Dot(c, e)
+	}
+	// A box of half-width m in x-space is contained in a y-ball of
+	// radius m*sqrt(d)+|p0|; use that as the sub-box half-width.
+	subM := m*math.Sqrt(float64(d)) + geom.Norm(p0)
+	y, err := solve(subCons, subC, subM, eps)
+	if err != nil {
+		return nil, err
+	}
+	x := geom.Clone(p0)
+	for k, e := range basis {
+		geom.AXPY(x, x, y[k], e)
+	}
+	return x, nil
+}
+
+// MaximizeValue is a convenience wrapper returning just the optimal
+// objective value.
+func MaximizeValue(cons []Constraint, c []float64, opt Options) (float64, error) {
+	x, err := Maximize(cons, c, opt)
+	if err != nil {
+		return 0, err
+	}
+	return geom.Dot(c, x), nil
+}

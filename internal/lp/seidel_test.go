@@ -1,0 +1,149 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hull"
+	"repro/internal/workload"
+)
+
+func TestMaximize2DTriangle(t *testing.T) {
+	// Triangle x>=0, y>=0, x+y<=1. Maximize x+2y -> (0,1), value 2.
+	cons := []Constraint{
+		{A: []float64{-1, 0}, B: 0},
+		{A: []float64{0, -1}, B: 0},
+		{A: []float64{1, 1}, B: 1},
+	}
+	x, err := Maximize(cons, []float64{1, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !geom.EqualTol(x, []float64{0, 1}, 1e-6) {
+		t.Errorf("optimum = %v, want (0,1)", x)
+	}
+	v, err := MaximizeValue(cons, []float64{1, 2}, Options{})
+	if err != nil || math.Abs(v-2) > 1e-6 {
+		t.Errorf("value = %v,%v", v, err)
+	}
+}
+
+func TestMaximize3DBox(t *testing.T) {
+	// Unit cube [0,1]^3, maximize x+y+z -> 3 at (1,1,1).
+	var cons []Constraint
+	for i := 0; i < 3; i++ {
+		lo := make([]float64, 3)
+		hi := make([]float64, 3)
+		lo[i], hi[i] = -1, 1
+		cons = append(cons, Constraint{A: lo, B: 0}, Constraint{A: hi, B: 1})
+	}
+	x, err := Maximize(cons, []float64{1, 1, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !geom.EqualTol(x, []float64{1, 1, 1}, 1e-6) {
+		t.Errorf("optimum = %v", x)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	cons := []Constraint{
+		{A: []float64{1, 0}, B: 0},   // x <= 0
+		{A: []float64{-1, 0}, B: -1}, // x >= 1
+	}
+	if _, err := Maximize(cons, []float64{1, 0}, Options{}); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	// A constant contradiction: 0·x <= -1.
+	cons2 := []Constraint{{A: []float64{0}, B: -1}}
+	if _, err := Maximize(cons2, []float64{1}, Options{}); err != ErrInfeasible {
+		t.Errorf("1D constant contradiction: %v", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// Only x >= 0 in 2D; maximize x is unbounded.
+	cons := []Constraint{{A: []float64{-1, 0}, B: 0}}
+	if _, err := Maximize(cons, []float64{1, 0}, Options{}); err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestOneDimensional(t *testing.T) {
+	cons := []Constraint{
+		{A: []float64{1}, B: 5},   // x <= 5
+		{A: []float64{-1}, B: -2}, // x >= 2
+	}
+	x, err := Maximize(cons, []float64{1}, Options{})
+	if err != nil || math.Abs(x[0]-5) > 1e-9 {
+		t.Errorf("max = %v,%v", x, err)
+	}
+	x, err = Maximize(cons, []float64{-3}, Options{})
+	if err != nil || math.Abs(x[0]-2) > 1e-9 {
+		t.Errorf("min = %v,%v", x, err)
+	}
+}
+
+// TestLPAgreesWithHullVertices is the oracle the package exists for:
+// maximizing over a hull's facet planes must match the best vertex.
+func TestLPAgreesWithHullVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, d := range []int{2, 3, 4} {
+		pts := workload.Points(workload.Gaussian, 200, d, int64(d))
+		h, err := hull.Compute(pts, nil, hull.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		planes, ok := h.FacetPlanes()
+		if !ok {
+			t.Fatalf("d=%d: no facet planes", d)
+		}
+		cons := make([]Constraint, len(planes))
+		for i, p := range planes {
+			cons[i] = Constraint{A: p.Normal, B: p.Offset}
+		}
+		for trial := 0; trial < 20; trial++ {
+			c := make([]float64, d)
+			for j := range c {
+				c[j] = rng.NormFloat64()
+			}
+			lpVal, err := MaximizeValue(cons, c, Options{Seed: int64(trial)})
+			if err != nil {
+				t.Fatalf("d=%d trial=%d: %v", d, trial, err)
+			}
+			best := math.Inf(-1)
+			for _, v := range h.Vertices {
+				if s := geom.Dot(c, pts[v]); s > best {
+					best = s
+				}
+			}
+			if math.Abs(lpVal-best) > 1e-6*(math.Abs(best)+1) {
+				t.Errorf("d=%d trial=%d: LP %v != best vertex %v", d, trial, lpVal, best)
+			}
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	cons := []Constraint{
+		{A: []float64{1, 1}, B: 2},
+		{A: []float64{-1, 0}, B: 0},
+		{A: []float64{0, -1}, B: 0},
+	}
+	a, err1 := Maximize(cons, []float64{3, 1}, Options{Seed: 5})
+	b, err2 := Maximize(cons, []float64{3, 1}, Options{Seed: 5})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !geom.Equal(a, b) {
+		t.Errorf("same seed, different answers: %v vs %v", a, b)
+	}
+}
+
+func TestEmptyObjective(t *testing.T) {
+	if _, err := Maximize(nil, nil, Options{}); err == nil {
+		t.Error("empty objective accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTopNBasic(t *testing.T) {
+	pts := [][]float64{{1, 0}, {0, 2}, {3, 3}, {-1, -1}}
+	got, err := TopN(pts, nil, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 3 || got[0].Score != 6 || got[1].ID != 2 || got[1].Score != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTopNCustomIDs(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	got, err := TopN(pts, []uint64{100, 200}, []float64{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != 200 {
+		t.Errorf("ID = %d", got[0].ID)
+	}
+}
+
+func TestTopNErrors(t *testing.T) {
+	if got, err := TopN(nil, nil, []float64{1}, 1); err != nil || got != nil {
+		t.Errorf("empty input: %v,%v", got, err)
+	}
+	pts := [][]float64{{1, 2}}
+	if _, err := TopN(pts, nil, []float64{1}, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := TopN(pts, nil, []float64{1, 1}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestTopNMoreThanExists(t *testing.T) {
+	pts := workload.Points(workload.Uniform, 10, 2, 1)
+	got, err := TopN(pts, nil, []float64{1, 0}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Error("not descending")
+		}
+	}
+}
+
+func TestCost(t *testing.T) {
+	if c := Cost(12345); c.RecordsEvaluated != 12345 || c.LayersAccessed != 0 {
+		t.Errorf("cost = %+v", c)
+	}
+}

@@ -1,0 +1,137 @@
+package shells
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// TestLayerTopNQuickProperty: for arbitrary quick-generated layers and
+// weights, the shell layer's TopN equals the sorted oracle. This is the
+// soundness of the per-bucket score upper bound — if a bound were ever
+// too tight, a pruned bucket would hide a top-n record.
+func TestLayerTopNQuickProperty(t *testing.T) {
+	f := func(coords []float64, w [4]float64, nRaw uint8, dRaw uint8) bool {
+		d := int(dRaw%3) + 2 // 2..4
+		n := len(coords) / d
+		if n < 1 {
+			return true
+		}
+		if n > 150 {
+			n = 150
+		}
+		recs := make([]core.Record, n)
+		pts := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			v := make([]float64, d)
+			for j := 0; j < d; j++ {
+				x := math.Mod(coords[i*d+j], 1e4)
+				if math.IsNaN(x) {
+					x = 0
+				}
+				v[j] = x
+			}
+			pts[i] = v
+			recs[i] = core.Record{ID: uint64(i + 1), Vector: v}
+		}
+		l := BuildLayer(recs, d)
+		ws := make([]float64, d)
+		for j := range ws {
+			ws[j] = math.Mod(w[j], 10)
+			if math.IsNaN(ws[j]) {
+				ws[j] = 1
+			}
+		}
+		topn := int(nRaw%8) + 1
+		got, evaluated := l.TopN(ws, topn)
+		if evaluated > n {
+			return false
+		}
+		scores := make([]float64, n)
+		for i, p := range pts {
+			scores[i] = geom.Dot(ws, p)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+		want := topn
+		if want > n {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := range got {
+			scale := math.Abs(scores[i]) + 1
+			if math.Abs(got[i].Score-scores[i]) > 1e-9*scale {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(55))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerSingleRecord(t *testing.T) {
+	l := BuildLayer([]core.Record{{ID: 7, Vector: []float64{3, 4, 5}}}, 3)
+	got, ev := l.TopN([]float64{1, 1, 1}, 3)
+	if len(got) != 1 || got[0].ID != 7 || got[0].Score != 12 {
+		t.Fatalf("got %v", got)
+	}
+	if ev != 1 {
+		t.Errorf("evaluated %d", ev)
+	}
+}
+
+func TestLayerAllRecordsAtCenter(t *testing.T) {
+	// Zero-radius members: bounds collapse to w·c; results still exact.
+	recs := []core.Record{
+		{ID: 1, Vector: []float64{2, 2}},
+		{ID: 2, Vector: []float64{2, 2}},
+		{ID: 3, Vector: []float64{2, 2}},
+	}
+	l := BuildLayer(recs, 2)
+	got, _ := l.TopN([]float64{1, -1}, 2)
+	if len(got) != 2 || got[0].Score != 0 || got[1].Score != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLayerHighDimFaceBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	d := 6
+	recs := make([]core.Record, 300)
+	pts := make([][]float64, 300)
+	for i := range recs {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		pts[i] = v
+		recs[i] = core.Record{ID: uint64(i + 1), Vector: v}
+	}
+	l := BuildLayer(recs, d)
+	w := make([]float64, d)
+	w[2] = 1
+	w[4] = -0.5
+	got, ev := l.TopN(w, 5)
+	scores := make([]float64, len(pts))
+	for i, p := range pts {
+		scores[i] = geom.Dot(w, p)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	for i := range got {
+		if math.Abs(got[i].Score-scores[i]) > 1e-9 {
+			t.Fatalf("rank %d: %v want %v", i, got[i].Score, scores[i])
+		}
+	}
+	if ev > 300 {
+		t.Errorf("evaluated %d of 300", ev)
+	}
+}

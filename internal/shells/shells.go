@@ -1,0 +1,302 @@
+// Package shells implements the paper's proposed auxiliary intra-layer
+// structure (Section 6, Figure 11): spherical shells.
+//
+// Evaluating a whole Onion layer finds both the maximum and the minimum
+// in the query direction, one of which is wasted. The paper suggests
+// expressing each layer's records in polar coordinates around a common
+// center and, per query, evaluating only records whose angle lies near
+// the query direction — halving evaluated records on uniform data.
+//
+// This package realizes that sketch rigorously so results stay exact in
+// every dimension: a layer's records are grouped into angular buckets
+// (sectors in 2D, axis-face cones in higher dimensions). Each bucket
+// carries its maximum radius and its cone aperture, which yield a sound
+// upper bound on any member's score:
+//
+//	w·x = w·c + r·(w·u)  <=  w·c + rmax·cos(max(0, ∠(w,g) − α))
+//
+// where c is the layer center, u the record's unit direction from c,
+// g the bucket's cone axis and α its half-angle. Buckets are visited in
+// decreasing bound order and evaluation stops as soon as the bound
+// cannot beat the current n-th best — branch and bound over shells.
+// Records whose direction points away from the query can never enter
+// the layer's top-n while enough forward records exist, so typically
+// about half the layer (the "back" hemisphere) is skipped, exactly the
+// saving the paper predicts.
+package shells
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/topk"
+)
+
+// bucket is one angular group of records within a layer.
+type bucket struct {
+	axis  []float64 // unit cone axis g
+	alpha float64   // cone half-angle α
+	rmax  float64   // largest member radius
+	recs  []member
+}
+
+type member struct {
+	id    uint64
+	vec   []float64
+	r     float64 // radius |x - c|
+	cosWU float64 // scratch, unused between queries
+}
+
+// Layer is a spherical-shell organization of one Onion layer.
+type Layer struct {
+	dim     int
+	center  []float64
+	buckets []bucket
+	size    int
+}
+
+// Sectors2D is the number of angular sectors used in two dimensions.
+const Sectors2D = 16
+
+// BuildLayer organizes the given records (all from one Onion layer)
+// into angular buckets around their centroid.
+func BuildLayer(recs []core.Record, dim int) *Layer {
+	l := &Layer{dim: dim, size: len(recs)}
+	if len(recs) == 0 {
+		l.center = make([]float64, dim)
+		return l
+	}
+	l.center = make([]float64, dim)
+	for _, r := range recs {
+		geom.Add(l.center, l.center, r.Vector)
+	}
+	geom.Scale(l.center, 1/float64(len(recs)), l.center)
+
+	if dim == 2 {
+		l.buildSectors(recs)
+	} else {
+		l.buildFaces(recs)
+	}
+	return l
+}
+
+// buildSectors buckets 2D records by their polar angle around the
+// center into Sectors2D equal sectors — the literal Figure 11 layout.
+func (l *Layer) buildSectors(recs []core.Record) {
+	n := Sectors2D
+	l.buckets = make([]bucket, n)
+	width := 2 * math.Pi / float64(n)
+	for s := range l.buckets {
+		mid := (float64(s) + 0.5) * width // sector midline angle
+		l.buckets[s].axis = []float64{math.Cos(mid), math.Sin(mid)}
+		l.buckets[s].alpha = width / 2
+	}
+	diff := make([]float64, 2)
+	for _, r := range recs {
+		geom.Sub(diff, r.Vector, l.center)
+		rad := geom.Norm(diff)
+		theta := math.Atan2(diff[1], diff[0])
+		if theta < 0 {
+			theta += 2 * math.Pi
+		}
+		s := int(theta / width)
+		if s >= n {
+			s = n - 1
+		}
+		l.push(s, r, rad)
+	}
+	l.compact()
+}
+
+// buildFaces buckets records by the dominant axis of their direction
+// (the face of the enclosing cube the direction exits through): 2·d
+// cones of half-angle acos(1/sqrt(d)).
+func (l *Layer) buildFaces(recs []core.Record) {
+	d := l.dim
+	l.buckets = make([]bucket, 2*d)
+	for j := 0; j < d; j++ {
+		for s, sign := range []float64{1, -1} {
+			axis := make([]float64, d)
+			axis[j] = sign
+			l.buckets[2*j+s].axis = axis
+			l.buckets[2*j+s].alpha = math.Acos(1 / math.Sqrt(float64(d)))
+		}
+	}
+	diff := make([]float64, d)
+	for _, r := range recs {
+		geom.Sub(diff, r.Vector, l.center)
+		rad := geom.Norm(diff)
+		best, bestAbs := 0, 0.0
+		for j, v := range diff {
+			if a := math.Abs(v); a > bestAbs {
+				best, bestAbs = j, a
+			}
+		}
+		s := 2 * best
+		if diff[best] < 0 {
+			s++
+		}
+		l.push(s, r, rad)
+	}
+	l.compact()
+}
+
+func (l *Layer) push(s int, r core.Record, rad float64) {
+	b := &l.buckets[s]
+	b.recs = append(b.recs, member{id: r.ID, vec: r.Vector, r: rad})
+	if rad > b.rmax {
+		b.rmax = rad
+	}
+}
+
+// compact drops empty buckets.
+func (l *Layer) compact() {
+	out := l.buckets[:0]
+	for _, b := range l.buckets {
+		if len(b.recs) > 0 {
+			out = append(out, b)
+		}
+	}
+	l.buckets = out
+}
+
+// Size returns the number of records in the layer.
+func (l *Layer) Size() int { return l.size }
+
+// TopN returns the layer's n best records for the weight vector, in
+// descending order, and the number of records actually evaluated.
+// Results are exact; the count is the saving the shells deliver.
+func (l *Layer) TopN(w []float64, n int) ([]core.Result, int) {
+	if l.size == 0 || n <= 0 {
+		return nil, 0
+	}
+	if n > l.size {
+		n = l.size
+	}
+	wc := geom.Dot(w, l.center)
+	wnorm := geom.Norm(w)
+
+	// Order buckets by their score upper bound.
+	type scoredBucket struct {
+		b     *bucket
+		bound float64
+	}
+	order := make([]scoredBucket, len(l.buckets))
+	for i := range l.buckets {
+		b := &l.buckets[i]
+		theta := geom.AngleBetween(w, b.axis)
+		gap := theta - b.alpha
+		if gap < 0 {
+			gap = 0
+		}
+		order[i] = scoredBucket{b: b, bound: wc + b.rmax*wnorm*math.Cos(gap)}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].bound > order[b].bound })
+
+	best := topk.NewBounded(n)
+	held := make([]member, 0, n)
+	evaluated := 0
+	for _, sb := range order {
+		if th, full := best.Threshold(); full && sb.bound <= th {
+			break // no member of this or later buckets can enter the top-n
+		}
+		for _, m := range sb.b.recs {
+			evaluated++
+			score := geom.Dot(w, m.vec)
+			if best.Offer(topk.Item{ID: len(held), Score: score}) {
+				held = append(held, m)
+			}
+		}
+	}
+	items := best.Descending()
+	out := make([]core.Result, len(items))
+	for i, it := range items {
+		out[i] = core.Result{ID: held[it.ID].id, Score: it.Score}
+	}
+	return out, evaluated
+}
+
+// Index wraps a built Onion index with shell-organized layers and runs
+// the paper's query algorithm using per-layer shell pruning. It serves
+// as the ablation counterpart of the plain Onion (DESIGN.md §4.3).
+type Index struct {
+	dim    int
+	layers []*Layer
+}
+
+// New builds shell layers for every layer of ix.
+func New(ix *core.Index) *Index {
+	s := &Index{dim: ix.Dim(), layers: make([]*Layer, ix.NumLayers())}
+	for k := 0; k < ix.NumLayers(); k++ {
+		s.layers[k] = BuildLayer(ix.Layer(k), ix.Dim())
+	}
+	return s
+}
+
+// NumLayers returns the layer count.
+func (s *Index) NumLayers() int { return len(s.layers) }
+
+// TopN answers the query exactly, like core.Index.TopN, but evaluates
+// only the shell buckets that can matter. Stats.RecordsEvaluated counts
+// the records actually scored, so the difference against the plain
+// Onion is the shells' saving.
+func (s *Index) TopN(weights []float64, n int) ([]core.Result, core.Stats, error) {
+	if len(weights) != s.dim {
+		return nil, core.Stats{}, errors.New("shells: weight dimension mismatch")
+	}
+	if n <= 0 {
+		return nil, core.Stats{}, errors.New("shells: non-positive n")
+	}
+	var stats core.Stats
+	var cand topk.MaxHeap
+	held := make(map[int]core.Result)
+	nextKey := 0
+	out := make([]core.Result, 0, n)
+	remain := n
+
+	for k := 0; k < len(s.layers) && remain > 0; k++ {
+		stats.LayersAccessed++
+		t, evaluated := s.layers[k].TopN(weights, remain)
+		stats.RecordsEvaluated += evaluated
+		if len(t) == 0 {
+			continue
+		}
+		maxT := t[0].Score
+		for remain > 0 {
+			c, ok := cand.Peek()
+			if !ok || c.Score <= maxT {
+				break
+			}
+			cand.Pop()
+			out = append(out, held[c.ID])
+			delete(held, c.ID)
+			remain--
+		}
+		if remain == 0 {
+			break
+		}
+		first := t[0]
+		first.Layer = k
+		out = append(out, first)
+		remain--
+		for _, r := range t[1:] {
+			r.Layer = k
+			held[nextKey] = r
+			cand.Push(topk.Item{ID: nextKey, Score: r.Score})
+			nextKey++
+		}
+	}
+	for remain > 0 {
+		c, ok := cand.Pop()
+		if !ok {
+			break
+		}
+		out = append(out, held[c.ID])
+		delete(held, c.ID)
+		remain--
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,181 @@
+package shells
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func buildBoth(t testing.TB, dist workload.Distribution, n, d int, seed int64) (*core.Index, *Index, [][]float64) {
+	t.Helper()
+	pts := workload.Points(dist, n, d, seed)
+	recs := make([]core.Record, n)
+	for i, p := range pts {
+		recs[i] = core.Record{ID: uint64(i + 1), Vector: p}
+	}
+	ix, err := core.Build(recs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, New(ix), pts
+}
+
+func TestLayerTopNExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{2, 3, 4} {
+		pts := workload.Points(workload.Uniform, 400, d, int64(d))
+		recs := make([]core.Record, len(pts))
+		for i, p := range pts {
+			recs[i] = core.Record{ID: uint64(i + 1), Vector: p}
+		}
+		l := BuildLayer(recs, d)
+		if l.Size() != 400 {
+			t.Fatalf("size = %d", l.Size())
+		}
+		for trial := 0; trial < 30; trial++ {
+			w := make([]float64, d)
+			for j := range w {
+				w[j] = rng.NormFloat64()
+			}
+			n := 1 + rng.Intn(10)
+			got, evaluated := l.TopN(w, n)
+			if evaluated == 0 || evaluated > 400 {
+				t.Fatalf("evaluated = %d", evaluated)
+			}
+			scores := make([]float64, len(pts))
+			for i, p := range pts {
+				scores[i] = geom.Dot(w, p)
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+			if len(got) != n {
+				t.Fatalf("d=%d trial=%d: %d results, want %d", d, trial, len(got), n)
+			}
+			for i := range got {
+				if diff := got[i].Score - scores[i]; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("d=%d trial=%d rank %d: %v want %v", d, trial, i, got[i].Score, scores[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLayerEmptyAndOverask(t *testing.T) {
+	l := BuildLayer(nil, 3)
+	if got, ev := l.TopN([]float64{1, 1, 1}, 5); got != nil || ev != 0 {
+		t.Errorf("empty layer: %v,%d", got, ev)
+	}
+	recs := []core.Record{{ID: 1, Vector: []float64{1, 0}}, {ID: 2, Vector: []float64{0, 1}}}
+	l2 := BuildLayer(recs, 2)
+	got, _ := l2.TopN([]float64{1, 0}, 10)
+	if len(got) != 2 {
+		t.Errorf("overask returned %d", len(got))
+	}
+	if got2, _ := l2.TopN([]float64{1, 0}, 0); got2 != nil {
+		t.Errorf("n=0 returned %v", got2)
+	}
+}
+
+func TestIndexMatchesPlainOnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct {
+		dist workload.Distribution
+		d    int
+	}{
+		{workload.Uniform, 2},
+		{workload.Uniform, 3},
+		{workload.Gaussian, 3},
+		{workload.Gaussian, 4},
+	} {
+		ix, sx, _ := buildBoth(t, tc.dist, 1200, tc.d, int64(tc.d*10))
+		for trial := 0; trial < 15; trial++ {
+			w := make([]float64, tc.d)
+			for j := range w {
+				w[j] = rng.NormFloat64()
+			}
+			for _, n := range []int{1, 7, 40} {
+				want, _, err := ix.TopN(w, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := sx.TopN(w, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v %dD n=%d: %d results, want %d", tc.dist, tc.d, n, len(got), len(want))
+				}
+				for i := range got {
+					if diff := got[i].Score - want[i].Score; diff > 1e-9 || diff < -1e-9 {
+						t.Fatalf("%v %dD n=%d rank %d: %v want %v", tc.dist, tc.d, n, i, got[i].Score, want[i].Score)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShellsSaveEvaluationsOnUniform reproduces the paper's Section 6
+// prediction: on uniformly distributed data the shells roughly halve
+// the number of evaluated records.
+func TestShellsSaveEvaluationsOnUniform(t *testing.T) {
+	ix, sx, _ := buildBoth(t, workload.Uniform, 4000, 2, 77)
+	qs := workload.QueryWeights(50, 2, 78)
+	plain, shelled := 0, 0
+	for _, w := range qs {
+		_, st1, err := ix.TopN(w, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st2, err := sx.TopN(w, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += st1.RecordsEvaluated
+		shelled += st2.RecordsEvaluated
+	}
+	if shelled >= plain*3/4 {
+		t.Errorf("shells evaluated %d records vs plain %d; expected roughly half", shelled, plain)
+	}
+	t.Logf("plain=%d shelled=%d ratio=%.2f", plain, shelled, float64(shelled)/float64(plain))
+}
+
+func TestIndexErrors(t *testing.T) {
+	ix, sx, _ := buildBoth(t, workload.Uniform, 100, 2, 9)
+	_ = ix
+	if _, _, err := sx.TopN([]float64{1}, 5); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, _, err := sx.TopN([]float64{1, 1}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if sx.NumLayers() == 0 {
+		t.Error("no layers")
+	}
+}
+
+func TestIndexWholeSet(t *testing.T) {
+	ix, sx, pts := buildBoth(t, workload.Gaussian, 300, 3, 11)
+	_ = ix
+	w := []float64{0.2, 0.3, 0.5}
+	got, _, err := sx.TopN(w, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("got %d of 300", len(got))
+	}
+	scores := make([]float64, len(pts))
+	for i, p := range pts {
+		scores[i] = geom.Dot(w, p)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	for i := range got {
+		if diff := got[i].Score - scores[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("rank %d: %v want %v", i, got[i].Score, scores[i])
+		}
+	}
+}

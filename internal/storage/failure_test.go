@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// flakyPager fails every ReadRun after the first `allow` calls — the
+// storage-layer failure-injection harness.
+type flakyPager struct {
+	inner Pager
+	allow int
+	calls int
+}
+
+var errInjected = errors.New("injected I/O failure")
+
+func (f *flakyPager) ReadRun(start, n int) ([]byte, error) {
+	f.calls++
+	if f.calls > f.allow {
+		return nil, errInjected
+	}
+	return f.inner.ReadRun(start, n)
+}
+func (f *flakyPager) NumPages() int  { return f.inner.NumPages() }
+func (f *flakyPager) Stats() IOStats { return f.inner.Stats() }
+func (f *flakyPager) ResetStats()    { f.inner.ResetStats() }
+
+func TestQuerySurfacesIOErrors(t *testing.T) {
+	ix := buildIndex(t, 1000, 3, 9)
+	data, err := Marshal(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow the header read plus one layer, then fail: a deep query must
+	// return the injected error, not wrong results.
+	flaky := &flakyPager{inner: NewMemPager(data), allow: 2}
+	di, err := NewDiskIndex(flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1, 1, 1}
+	if _, _, _, err := di.TopN(w, 500); !errors.Is(err, errInjected) {
+		t.Fatalf("deep query error = %v, want injected failure", err)
+	}
+	// A top-1 query only needs the first layer, which was allowed.
+	flaky.calls = 0
+	res, _, _, err := di.TopN(w, 1)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("top-1 within the allowed window: %v, %v", res, err)
+	}
+}
+
+func TestSearcherErrStopsStream(t *testing.T) {
+	ix := buildIndex(t, 1000, 3, 10)
+	data, err := Marshal(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyPager{inner: NewMemPager(data), allow: 3} // header + 2 layers
+	di, err := NewDiskIndex(flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSourceSearcher(di, []float64{1, 0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if s.Err() == nil {
+		t.Fatal("stream swallowed the I/O failure")
+	}
+	if count == 0 {
+		t.Error("results before the failure should have streamed")
+	}
+	// After an error the stream stays dead.
+	if _, ok := s.Next(); ok {
+		t.Error("stream revived after error")
+	}
+}
+
+func TestLoadSurfacesErrors(t *testing.T) {
+	ix := buildIndex(t, 300, 2, 11)
+	data, err := Marshal(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the file body: Load must fail, not return a partial index.
+	trunc := data[:len(data)-2*PageSize]
+	di, err := NewDiskIndex(NewMemPager(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := false
+	for k := 0; k < di.NumLayers(); k++ {
+		if _, err := di.ReadLayer(k); err != nil {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Fatal("truncation not detectable")
+	}
+}

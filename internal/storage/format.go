@@ -1,0 +1,157 @@
+// Package storage lays an Onion index out on disk exactly the way the
+// paper describes (Section 3.1): the records of each layer are stored in
+// consecutive pages of a flat file, outermost layer first, and the only
+// metadata kept is the page extent of every layer. Reading layer k
+// therefore costs one random access (the seek to its first page) plus a
+// run of sequential page reads — the access pattern Section 5's I/O
+// evaluation assumes, which this package measures rather than estimates.
+//
+// Record layout inside a page is [id uint64][attr float64 × d], i.e.
+// 8*(d+1) bytes: 32 bytes for a 3-attribute record and 40 bytes for a
+// 4-attribute one, matching the paper's accounting. Records never span
+// pages; each page holds ⌊4096/recSize⌋ records.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// PageSize is the disk page size assumed throughout the paper (4 KB).
+const PageSize = 4096
+
+// Magic identifies the file format; the trailing byte is a version.
+var Magic = [8]byte{'O', 'N', 'I', 'O', 'N', 'I', 'X', 1}
+
+// Extent records where a layer lives in the file.
+type Extent struct {
+	StartPage uint32 // first page of the layer
+	Pages     uint32 // number of consecutive pages
+	Records   uint32 // number of records in the layer
+}
+
+// Header is the per-file metadata: everything the query processor needs
+// to locate layers. It is tiny — the paper's "almost no overhead" claim —
+// and occupies the first page(s) of the file.
+type Header struct {
+	Dim     uint32
+	Layers  []Extent
+	Records uint64
+}
+
+// RecordSize returns the on-disk size of one record of dimension d.
+func RecordSize(d int) int { return 8 * (d + 1) }
+
+// RecordsPerPage returns how many records of dimension d fit in a page.
+func RecordsPerPage(d int) int { return PageSize / RecordSize(d) }
+
+// headerBytes returns the header's serialized size.
+func headerBytes(layers int) int {
+	return 8 /*magic*/ + 4 /*dim*/ + 8 /*records*/ + 4 /*layer count*/ + layers*12
+}
+
+// HeaderPages returns how many pages the header occupies.
+func HeaderPages(layers int) int {
+	return (headerBytes(layers) + PageSize - 1) / PageSize
+}
+
+var (
+	// ErrBadMagic marks a file that is not an Onion index.
+	ErrBadMagic = errors.New("storage: bad magic (not an onion index file)")
+	// ErrCorrupt marks structurally invalid headers or pages.
+	ErrCorrupt = errors.New("storage: corrupt index file")
+)
+
+// marshalHeader encodes h into a fresh page-aligned buffer.
+func marshalHeader(h *Header) []byte {
+	buf := make([]byte, HeaderPages(len(h.Layers))*PageSize)
+	copy(buf, Magic[:])
+	binary.LittleEndian.PutUint32(buf[8:], h.Dim)
+	binary.LittleEndian.PutUint64(buf[12:], h.Records)
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(h.Layers)))
+	off := 24
+	for _, e := range h.Layers {
+		binary.LittleEndian.PutUint32(buf[off:], e.StartPage)
+		binary.LittleEndian.PutUint32(buf[off+4:], e.Pages)
+		binary.LittleEndian.PutUint32(buf[off+8:], e.Records)
+		off += 12
+	}
+	return buf
+}
+
+// unmarshalHeader decodes a header from the start of buf.
+func unmarshalHeader(buf []byte) (*Header, error) {
+	if len(buf) < 24 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	for i, b := range Magic {
+		if buf[i] != b {
+			return nil, ErrBadMagic
+		}
+	}
+	h := &Header{
+		Dim:     binary.LittleEndian.Uint32(buf[8:]),
+		Records: binary.LittleEndian.Uint64(buf[12:]),
+	}
+	n := binary.LittleEndian.Uint32(buf[20:])
+	if h.Dim == 0 || h.Dim > 1024 {
+		return nil, fmt.Errorf("%w: dimension %d", ErrCorrupt, h.Dim)
+	}
+	need := 24 + int(n)*12
+	if len(buf) < need {
+		return nil, fmt.Errorf("%w: truncated layer table", ErrCorrupt)
+	}
+	h.Layers = make([]Extent, n)
+	off := 24
+	for i := range h.Layers {
+		h.Layers[i] = Extent{
+			StartPage: binary.LittleEndian.Uint32(buf[off:]),
+			Pages:     binary.LittleEndian.Uint32(buf[off+4:]),
+			Records:   binary.LittleEndian.Uint32(buf[off+8:]),
+		}
+		off += 12
+	}
+	return h, nil
+}
+
+// encodeRecords packs records into page-aligned bytes (records never
+// straddle a page boundary; the page tail is zero padding).
+func encodeRecords(recs []core.Record, d int) []byte {
+	perPage := RecordsPerPage(d)
+	pages := (len(recs) + perPage - 1) / perPage
+	buf := make([]byte, pages*PageSize)
+	for i, r := range recs {
+		page, slot := i/perPage, i%perPage
+		off := page*PageSize + slot*RecordSize(d)
+		binary.LittleEndian.PutUint64(buf[off:], r.ID)
+		for j, v := range r.Vector {
+			binary.LittleEndian.PutUint64(buf[off+8+8*j:], math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// decodeRecords unpacks count records of dimension d from page data.
+func decodeRecords(buf []byte, count, d int) ([]core.Record, error) {
+	perPage := RecordsPerPage(d)
+	need := (count + perPage - 1) / perPage * PageSize
+	if len(buf) < need {
+		return nil, fmt.Errorf("%w: layer data truncated (%d < %d bytes)", ErrCorrupt, len(buf), need)
+	}
+	recs := make([]core.Record, count)
+	vecs := make([]float64, count*d)
+	for i := range recs {
+		page, slot := i/perPage, i%perPage
+		off := page*PageSize + slot*RecordSize(d)
+		v := vecs[i*d : (i+1)*d : (i+1)*d]
+		for j := range v {
+			v[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8+8*j:]))
+		}
+		recs[i] = core.Record{ID: binary.LittleEndian.Uint64(buf[off:]), Vector: v}
+	}
+	return recs, nil
+}

@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// IOStats counts physical access operations the way the paper's cost
+// model does: a random access is a seek to a non-consecutive page; every
+// page transferred counts as one sequential access.
+type IOStats struct {
+	RandomAccesses  int // disk seeks (layer starts, header loads)
+	SequentialReads int // pages transferred
+}
+
+// Add accumulates other into s.
+func (s *IOStats) Add(other IOStats) {
+	s.RandomAccesses += other.RandomAccesses
+	s.SequentialReads += other.SequentialReads
+}
+
+// Cost applies the paper's Eq. 2 weighting: one random access costs
+// `randomWeight` sequential page reads (the paper conservatively uses 8).
+func (s IOStats) Cost(randomWeight float64) float64 {
+	return randomWeight*float64(s.RandomAccesses) + float64(s.SequentialReads)
+}
+
+// DefaultRandomWeight is the paper's random:sequential cost ratio.
+const DefaultRandomWeight = 8
+
+// Pager reads fixed-size pages by number and tracks access statistics.
+// Implementations distinguish a seek (first page of a run) from the
+// sequential pages that follow via ReadRun.
+type Pager interface {
+	// ReadRun reads n consecutive pages starting at page start. It
+	// counts one random access and n sequential reads.
+	ReadRun(start, n int) ([]byte, error)
+	// NumPages returns the total number of pages.
+	NumPages() int
+	// Stats returns the access counters accumulated so far.
+	Stats() IOStats
+	// ResetStats zeroes the counters.
+	ResetStats()
+}
+
+// memPager serves pages from a byte slice; tests and benchmarks use it
+// to measure access patterns without real disk latency.
+type memPager struct {
+	data  []byte
+	stats IOStats
+}
+
+// NewMemPager wraps page-aligned bytes in a Pager.
+func NewMemPager(data []byte) Pager {
+	return &memPager{data: data}
+}
+
+func (m *memPager) ReadRun(start, n int) ([]byte, error) {
+	lo, hi := start*PageSize, (start+n)*PageSize
+	if lo < 0 || hi > len(m.data) || n <= 0 {
+		return nil, fmt.Errorf("%w: page run [%d,+%d) outside file of %d pages", ErrCorrupt, start, n, len(m.data)/PageSize)
+	}
+	m.stats.RandomAccesses++
+	m.stats.SequentialReads += n
+	out := make([]byte, hi-lo)
+	copy(out, m.data[lo:hi])
+	return out, nil
+}
+
+func (m *memPager) NumPages() int  { return len(m.data) / PageSize }
+func (m *memPager) Stats() IOStats { return m.stats }
+func (m *memPager) ResetStats()    { m.stats = IOStats{} }
+
+// filePager serves pages from an *os.File.
+type filePager struct {
+	f     *os.File
+	pages int
+	stats IOStats
+}
+
+// OpenFilePager opens path for paged reading.
+func OpenFilePager(path string) (Pager, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if fi.Size()%PageSize != 0 {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: size %d not page aligned", ErrCorrupt, fi.Size())
+	}
+	p := &filePager{f: f, pages: int(fi.Size() / PageSize)}
+	return p, f, nil
+}
+
+func (p *filePager) ReadRun(start, n int) ([]byte, error) {
+	if start < 0 || start+n > p.pages || n <= 0 {
+		return nil, fmt.Errorf("%w: page run [%d,+%d) outside file of %d pages", ErrCorrupt, start, n, p.pages)
+	}
+	buf := make([]byte, n*PageSize)
+	if _, err := p.f.ReadAt(buf, int64(start)*PageSize); err != nil {
+		return nil, err
+	}
+	p.stats.RandomAccesses++
+	p.stats.SequentialReads += n
+	return buf, nil
+}
+
+func (p *filePager) NumPages() int  { return p.pages }
+func (p *filePager) Stats() IOStats { return p.stats }
+func (p *filePager) ResetStats()    { p.stats = IOStats{} }

@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemPagerBounds(t *testing.T) {
+	p := NewMemPager(make([]byte, 3*PageSize))
+	if p.NumPages() != 3 {
+		t.Fatalf("pages = %d", p.NumPages())
+	}
+	if _, err := p.ReadRun(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadRun(2, 2); err == nil {
+		t.Error("overrun accepted")
+	}
+	if _, err := p.ReadRun(-1, 1); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := p.ReadRun(0, 0); err == nil {
+		t.Error("zero-length run accepted")
+	}
+	st := p.Stats()
+	if st.RandomAccesses != 1 || st.SequentialReads != 3 {
+		t.Errorf("stats %+v (failed reads must not count)", st)
+	}
+	p.ResetStats()
+	if p.Stats() != (IOStats{}) {
+		t.Error("reset failed")
+	}
+}
+
+func TestMemPagerCopiesData(t *testing.T) {
+	data := make([]byte, PageSize)
+	data[10] = 42
+	p := NewMemPager(data)
+	buf, err := p.ReadRun(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[10] = 99
+	buf2, _ := p.ReadRun(0, 1)
+	if buf2[10] != 42 {
+		t.Error("pager returned shared storage")
+	}
+}
+
+func TestFilePagerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.bin")
+	data := make([]byte, 4*PageSize)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, closer, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if p.NumPages() != 4 {
+		t.Fatalf("pages = %d", p.NumPages())
+	}
+	buf, err := p.ReadRun(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != data[PageSize+i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	if _, err := p.ReadRun(3, 2); err == nil {
+		t.Error("overrun accepted")
+	}
+	st := p.Stats()
+	if st.RandomAccesses != 1 || st.SequentialReads != 2 {
+		t.Errorf("stats %+v", st)
+	}
+	p.ResetStats()
+	if p.Stats() != (IOStats{}) {
+		t.Error("reset failed")
+	}
+}
+
+func TestIOStatsAddAndCost(t *testing.T) {
+	a := IOStats{RandomAccesses: 2, SequentialReads: 10}
+	a.Add(IOStats{RandomAccesses: 1, SequentialReads: 5})
+	if a.RandomAccesses != 3 || a.SequentialReads != 15 {
+		t.Errorf("add: %+v", a)
+	}
+	if a.Cost(0) != 15 {
+		t.Errorf("zero-weight cost %v", a.Cost(0))
+	}
+}
+
+func TestHeaderPagesGrowth(t *testing.T) {
+	if HeaderPages(1) != 1 {
+		t.Errorf("1 layer -> %d pages", HeaderPages(1))
+	}
+	// 24 + 12L > 4096 when L > 339.
+	if HeaderPages(339) != 1 {
+		t.Errorf("339 layers -> %d pages", HeaderPages(339))
+	}
+	if HeaderPages(340) != 2 {
+		t.Errorf("340 layers -> %d pages", HeaderPages(340))
+	}
+}
+
+func TestMarshalRejectsHugeDim(t *testing.T) {
+	// A record wider than a page cannot be stored.
+	if RecordsPerPage(511) != 1 {
+		t.Errorf("511-dim records/page = %d", RecordsPerPage(511))
+	}
+	if RecordsPerPage(512) != 0 {
+		t.Errorf("512-dim records/page = %d, want 0", RecordsPerPage(512))
+	}
+}

@@ -1,0 +1,279 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func buildIndex(t testing.TB, n, d int, seed int64) *core.Index {
+	t.Helper()
+	pts := workload.Points(workload.Gaussian, n, d, seed)
+	recs := make([]core.Record, n)
+	for i, p := range pts {
+		recs[i] = core.Record{ID: uint64(i + 1), Vector: p}
+	}
+	ix, err := core.Build(recs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestRecordSizesMatchPaper(t *testing.T) {
+	if RecordSize(3) != 32 {
+		t.Errorf("3D record = %d bytes, paper says 32", RecordSize(3))
+	}
+	if RecordSize(4) != 40 {
+		t.Errorf("4D record = %d bytes, paper says 40", RecordSize(4))
+	}
+	if RecordsPerPage(3) != 128 {
+		t.Errorf("3D records/page = %d, want 128", RecordsPerPage(3))
+	}
+	if RecordsPerPage(4) != 102 {
+		t.Errorf("4D records/page = %d, want 102", RecordsPerPage(4))
+	}
+}
+
+func TestScanCostMatchesPaper(t *testing.T) {
+	// "The I/O cost of scanning 1,000,000 records is fixed at 8,000
+	// sequential access for the 3D data and 10,000 access for the 4D."
+	if got := ScanCost(1_000_000, 3); got != 7813 {
+		// 1e6/128 = 7812.5 -> 7813 pages; the paper rounds to 8,000.
+		t.Logf("3D scan = %v pages (paper rounds to 8,000)", got)
+		if got < 7500 || got > 8000 {
+			t.Errorf("3D scan cost %v out of the paper's ballpark", got)
+		}
+	}
+	got4 := ScanCost(1_000_000, 4)
+	if got4 < 9800 || got4 > 10000 {
+		t.Errorf("4D scan cost %v, paper says ~10,000", got4)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	ix := buildIndex(t, 500, 3, 1)
+	data, err := Marshal(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data)%PageSize != 0 {
+		t.Fatalf("file size %d not page aligned", len(data))
+	}
+	di, err := NewDiskIndex(NewMemPager(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di.Dim() != 3 || di.Len() != 500 || di.NumLayers() != ix.NumLayers() {
+		t.Fatalf("header mismatch: dim=%d len=%d layers=%d", di.Dim(), di.Len(), di.NumLayers())
+	}
+	for k := 0; k < ix.NumLayers(); k++ {
+		want := ix.Layer(k)
+		got, err := di.ReadLayer(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("layer %d: %d records, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || !geom.Equal(got[i].Vector, want[i].Vector) {
+				t.Fatalf("layer %d record %d: %+v != %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWriteOpenFile(t *testing.T) {
+	ix := buildIndex(t, 300, 4, 2)
+	path := filepath.Join(t.TempDir(), "test.onion")
+	if err := Write(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	di, closer, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if di.Len() != 300 || di.Dim() != 4 {
+		t.Fatalf("len=%d dim=%d", di.Len(), di.Dim())
+	}
+	// Query through the file and compare against the in-memory index.
+	w := []float64{0.25, 0.25, 0.25, 0.25}
+	wantRes, wantStats, err := ix.TopN(w, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, gotStats, _, err := di.TopN(w, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != wantStats {
+		t.Errorf("stats disk=%+v mem=%+v", gotStats, wantStats)
+	}
+	for i := range wantRes {
+		if gotRes[i].ID != wantRes[i].ID {
+			t.Fatalf("rank %d: disk %d, mem %d", i, gotRes[i].ID, wantRes[i].ID)
+		}
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	ix := buildIndex(t, 2000, 3, 3)
+	data, err := Marshal(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, err := NewDiskIndex(NewMemPager(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	di.ResetStats()
+	w := []float64{1, 1, 1}
+	_, stats, io, err := di.TopN(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top-1 touches exactly layer 1: one seek, its pages sequential.
+	if io.RandomAccesses != 1 {
+		t.Errorf("top-1 random accesses = %d, want 1 (theorem 2)", io.RandomAccesses)
+	}
+	wantPages := (di.LayerRecords(0) + RecordsPerPage(3) - 1) / RecordsPerPage(3)
+	if io.SequentialReads != wantPages {
+		t.Errorf("top-1 sequential reads = %d, want %d", io.SequentialReads, wantPages)
+	}
+	if stats.LayersAccessed != 1 {
+		t.Errorf("layers accessed = %d", stats.LayersAccessed)
+	}
+
+	// Theorem 2: top-N costs at most N random accesses.
+	for _, n := range []int{5, 25, 100} {
+		di.ResetStats()
+		_, _, io, err := di.TopN(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if io.RandomAccesses > n {
+			t.Errorf("top-%d random accesses = %d exceeds theorem 2 bound", n, io.RandomAccesses)
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	s := IOStats{RandomAccesses: 3, SequentialReads: 40}
+	if got := s.Cost(8); got != 64 {
+		t.Errorf("cost = %v, want 64", got)
+	}
+	// Eq. 2 with 3D records: 128 records = exactly one page.
+	if got := EstimateCost(1, 128, 3); got != 9 {
+		t.Errorf("estimate = %v, want 8+1", got)
+	}
+}
+
+func TestCorruptFiles(t *testing.T) {
+	if _, err := NewDiskIndex(NewMemPager(make([]byte, PageSize))); err == nil {
+		t.Error("zero page accepted")
+	}
+	bad := make([]byte, PageSize)
+	copy(bad, []byte("NOTONION"))
+	if _, err := NewDiskIndex(NewMemPager(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated layer data.
+	ix := buildIndex(t, 100, 2, 4)
+	data, _ := Marshal(ix)
+	trunc := data[:len(data)-PageSize]
+	di, err := NewDiskIndex(NewMemPager(trunc))
+	if err != nil {
+		t.Fatal(err) // header is intact
+	}
+	last := di.NumLayers() - 1
+	if _, err := di.ReadLayer(last); err == nil {
+		t.Error("reading past truncation succeeded")
+	}
+	if _, err := di.ReadLayer(-1); err == nil {
+		t.Error("negative layer accepted")
+	}
+	if _, err := di.ReadLayer(di.NumLayers()); err == nil {
+		t.Error("out-of-range layer accepted")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, _, err := Open(filepath.Join(t.TempDir(), "missing.onion")); err == nil {
+		t.Error("missing file opened")
+	}
+	// Non-page-aligned file.
+	path := filepath.Join(t.TempDir(), "ragged.onion")
+	if err := os.WriteFile(path, make([]byte, PageSize+17), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); err == nil {
+		t.Error("ragged file opened")
+	}
+}
+
+func TestManyLayersHeaderSpillover(t *testing.T) {
+	// Force a header larger than one page: > (4096-24)/12 ≈ 339 layers.
+	// A 1D-ish construction gives 2 records per layer; use 2D collinear
+	// diagonal points: each layer is the two endpoints -> n/2 layers.
+	n := 800
+	recs := make([]core.Record, n)
+	for i := 0; i < n; i++ {
+		v := float64(i)
+		recs[i] = core.Record{ID: uint64(i + 1), Vector: []float64{v, v}}
+	}
+	ix, err := core.Build(recs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumLayers() < 350 {
+		t.Skipf("only %d layers; need >339 for spillover", ix.NumLayers())
+	}
+	data, err := Marshal(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, err := NewDiskIndex(NewMemPager(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di.NumLayers() != ix.NumLayers() {
+		t.Fatalf("layers %d != %d", di.NumLayers(), ix.NumLayers())
+	}
+	got, err := di.ReadLayer(di.NumLayers() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Error("innermost layer empty")
+	}
+}
+
+func TestEncodeDecodeRecords(t *testing.T) {
+	recs := []core.Record{
+		{ID: 1, Vector: []float64{1.5, -2.5, 3.5}},
+		{ID: 1 << 40, Vector: []float64{0, 0, 0}},
+	}
+	buf := encodeRecords(recs, 3)
+	if len(buf) != PageSize {
+		t.Fatalf("2 records should fit one page, got %d bytes", len(buf))
+	}
+	back, err := decodeRecords(buf, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if back[i].ID != recs[i].ID || !geom.Equal(back[i].Vector, recs[i].Vector) {
+			t.Errorf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+	if !bytes.Equal(buf[2*RecordSize(3):], make([]byte, PageSize-2*RecordSize(3))) {
+		t.Error("page tail not zero padded")
+	}
+}

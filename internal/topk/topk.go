@@ -1,0 +1,167 @@
+// Package topk provides bounded top-k selection and an unbounded
+// max-heap keyed by float64 scores, the two in-memory structures the
+// Onion query processor needs: a per-layer "best N of this layer" buffer
+// and the global candidate set.
+package topk
+
+import "sort"
+
+// Item is a scored record reference.
+type Item struct {
+	ID    int // caller-defined identifier (record index)
+	Score float64
+}
+
+// Bounded keeps the k items with the largest scores seen so far using a
+// size-k min-heap (the root is the weakest kept item, evicted first).
+// The zero value is unusable; call NewBounded.
+type Bounded struct {
+	k     int
+	items []Item // min-heap on Score
+}
+
+// NewBounded returns a top-k collector. k must be positive.
+func NewBounded(k int) *Bounded {
+	if k <= 0 {
+		panic("topk: NewBounded with non-positive k")
+	}
+	return &Bounded{k: k, items: make([]Item, 0, k)}
+}
+
+// Len returns the number of items currently kept (≤ k).
+func (b *Bounded) Len() int { return len(b.items) }
+
+// K returns the capacity.
+func (b *Bounded) K() int { return b.k }
+
+// Threshold returns the smallest kept score, or -Inf semantics via
+// (0,false) when fewer than k items have been offered.
+func (b *Bounded) Threshold() (float64, bool) {
+	if len(b.items) < b.k {
+		return 0, false
+	}
+	return b.items[0].Score, true
+}
+
+// Offer considers an item and reports whether it was kept.
+func (b *Bounded) Offer(it Item) bool {
+	if len(b.items) < b.k {
+		b.items = append(b.items, it)
+		b.siftUp(len(b.items) - 1)
+		return true
+	}
+	if it.Score <= b.items[0].Score {
+		return false
+	}
+	b.items[0] = it
+	b.siftDown(0)
+	return true
+}
+
+// Descending returns the kept items sorted by descending score,
+// consuming the collector's internal order (the collector remains usable
+// but unsorted invariants are restored).
+func (b *Bounded) Descending() []Item {
+	out := make([]Item, len(b.items))
+	copy(out, b.items)
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// Reset empties the collector, retaining capacity.
+func (b *Bounded) Reset() { b.items = b.items[:0] }
+
+func (b *Bounded) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if b.items[p].Score <= b.items[i].Score {
+			return
+		}
+		b.items[p], b.items[i] = b.items[i], b.items[p]
+		i = p
+	}
+}
+
+func (b *Bounded) siftDown(i int) {
+	n := len(b.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && b.items[l].Score < b.items[m].Score {
+			m = l
+		}
+		if r < n && b.items[r].Score < b.items[m].Score {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		b.items[i], b.items[m] = b.items[m], b.items[i]
+		i = m
+	}
+}
+
+// MaxHeap is an unbounded max-heap of Items. The Onion query processor
+// uses it as the candidate set: records from outer layers that may still
+// beat records of inner layers (paper Section 3.2).
+type MaxHeap struct {
+	items []Item
+}
+
+// Len returns the number of items in the heap.
+func (h *MaxHeap) Len() int { return len(h.items) }
+
+// Push adds an item.
+func (h *MaxHeap) Push(it Item) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].Score >= h.items[i].Score {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+// Peek returns the maximum item without removing it. ok is false when
+// the heap is empty.
+func (h *MaxHeap) Peek() (Item, bool) {
+	if len(h.items) == 0 {
+		return Item{}, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the maximum item.
+func (h *MaxHeap) Pop() (Item, bool) {
+	if len(h.items) == 0 {
+		return Item{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	n := len(h.items)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.items[l].Score > h.items[m].Score {
+			m = l
+		}
+		if r < n && h.items[r].Score > h.items[m].Score {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return top, true
+}
+
+// Reset empties the heap, retaining capacity.
+func (h *MaxHeap) Reset() { h.items = h.items[:0] }

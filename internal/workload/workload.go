@@ -1,0 +1,213 @@
+// Package workload generates the synthetic data sets and query loads of
+// the paper's evaluation (Section 5) plus the extra distributions the
+// paper discusses qualitatively.
+//
+// The four headline test sets are 1,000,000 points each:
+//
+//	3D/4D Gaussian  — i.i.d. N(0,1) per attribute
+//	3D/4D Uniform   — i.i.d. U(-0.5, 0.5) per attribute
+//
+// The paper also predicts (Section 5, Figure 8 discussion) that
+// distributions with slower tail decay than Gaussian — exponential,
+// Gamma — spread into even more layers; Exponential and Gamma generators
+// exist to reproduce that claim. Clustered mixtures support the
+// hierarchical-index experiments of Section 4.
+//
+// All generators are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution names a synthetic attribute distribution.
+type Distribution int
+
+const (
+	// Gaussian draws each attribute i.i.d. from N(0,1).
+	Gaussian Distribution = iota
+	// Uniform draws each attribute i.i.d. from U(-0.5,0.5).
+	Uniform
+	// Exponential draws each attribute i.i.d. from Exp(1) (mean 1).
+	Exponential
+	// GammaDist draws each attribute i.i.d. from Gamma(k=2, θ=1).
+	GammaDist
+	// Ball draws points uniformly from the unit d-ball (the Figure 2
+	// "records distributed in a circle" configuration).
+	Ball
+	// Sphere draws points uniformly from the unit (d-1)-sphere surface
+	// (every point is a hull vertex: the Onion's worst case).
+	Sphere
+)
+
+// String returns the conventional short name used in tables and flags.
+func (d Distribution) String() string {
+	switch d {
+	case Gaussian:
+		return "gaussian"
+	case Uniform:
+		return "uniform"
+	case Exponential:
+		return "exponential"
+	case GammaDist:
+		return "gamma"
+	case Ball:
+		return "ball"
+	case Sphere:
+		return "sphere"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution is the inverse of String.
+func ParseDistribution(s string) (Distribution, error) {
+	for _, d := range []Distribution{Gaussian, Uniform, Exponential, GammaDist, Ball, Sphere} {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown distribution %q", s)
+}
+
+// Points generates n points of dimension d from the distribution,
+// deterministically in seed.
+func Points(dist Distribution, n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	// One backing array keeps the points contiguous, which matters for
+	// the O(n) partition pass the hull runs once per Onion layer.
+	backing := make([]float64, n*d)
+	for i := range pts {
+		p := backing[i*d : (i+1)*d : (i+1)*d]
+		switch dist {
+		case Gaussian:
+			for j := range p {
+				p[j] = rng.NormFloat64()
+			}
+		case Uniform:
+			for j := range p {
+				p[j] = rng.Float64() - 0.5
+			}
+		case Exponential:
+			for j := range p {
+				p[j] = rng.ExpFloat64()
+			}
+		case GammaDist:
+			for j := range p {
+				p[j] = gamma2(rng)
+			}
+		case Ball:
+			ballPoint(rng, p)
+		case Sphere:
+			spherePoint(rng, p)
+		default:
+			panic("workload: unknown distribution")
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// gamma2 samples Gamma(shape=2, scale=1) as the sum of two Exp(1)
+// variates (exact for integer shape).
+func gamma2(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() + rng.ExpFloat64()
+}
+
+// ballPoint fills p with a uniform sample from the unit d-ball:
+// a Gaussian direction scaled by U^(1/d).
+func ballPoint(rng *rand.Rand, p []float64) {
+	spherePoint(rng, p)
+	r := math.Pow(rng.Float64(), 1/float64(len(p)))
+	for j := range p {
+		p[j] *= r
+	}
+}
+
+// spherePoint fills p with a uniform sample from the unit sphere surface.
+func spherePoint(rng *rand.Rand, p []float64) {
+	for {
+		var n2 float64
+		for j := range p {
+			p[j] = rng.NormFloat64()
+			n2 += p[j] * p[j]
+		}
+		if n2 > 0 {
+			inv := 1 / math.Sqrt(n2)
+			for j := range p {
+				p[j] *= inv
+			}
+			return
+		}
+	}
+}
+
+// Clustered generates n points split evenly across k Gaussian clusters
+// with the given standard deviation, centers drawn uniformly from
+// [-spread/2, spread/2]^d. It returns the points and the cluster label of
+// each point; Section 4's hierarchical experiments use the labels as the
+// "categorical attribute" that local queries constrain on.
+func Clustered(n, d, k int, stddev, spread float64, seed int64) (pts [][]float64, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, d)
+		for j := range centers[c] {
+			centers[c][j] = (rng.Float64() - 0.5) * spread
+		}
+	}
+	pts = make([][]float64, n)
+	labels = make([]int, n)
+	for i := range pts {
+		c := i % k
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = centers[c][j] + rng.NormFloat64()*stddev
+		}
+		pts[i] = p
+		labels[i] = c
+	}
+	return pts, labels
+}
+
+// QueryWeights generates nq random weight vectors of dimension d. The
+// paper's evaluation uses "randomly generated" coefficients for 1,000
+// queries; we draw each weight uniformly from [0,1) and reject the
+// all-zero vector, then leave the vector unnormalized (linear top-N is
+// invariant to positive scaling of the weights).
+func QueryWeights(nq, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([][]float64, nq)
+	for i := range qs {
+		w := make([]float64, d)
+		for {
+			var sum float64
+			for j := range w {
+				w[j] = rng.Float64()
+				sum += w[j]
+			}
+			if sum > 0 {
+				break
+			}
+		}
+		qs[i] = w
+	}
+	return qs
+}
+
+// DirectionWeights generates nq weight vectors uniform on the unit
+// sphere (allowing negative weights), exercising minimization-style
+// directions as well.
+func DirectionWeights(nq, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([][]float64, nq)
+	for i := range qs {
+		w := make([]float64, d)
+		spherePoint(rng, w)
+		qs[i] = w
+	}
+	return qs
+}

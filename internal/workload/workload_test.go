@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPointsShapeAndDeterminism(t *testing.T) {
+	for _, dist := range []Distribution{Gaussian, Uniform, Exponential, GammaDist, Ball, Sphere} {
+		a := Points(dist, 100, 3, 42)
+		b := Points(dist, 100, 3, 42)
+		c := Points(dist, 100, 3, 43)
+		if len(a) != 100 || len(a[0]) != 3 {
+			t.Fatalf("%v: shape %dx%d", dist, len(a), len(a[0]))
+		}
+		same, diff := true, false
+		for i := range a {
+			if !geom.Equal(a[i], b[i]) {
+				same = false
+			}
+			if !geom.Equal(a[i], c[i]) {
+				diff = true
+			}
+		}
+		if !same {
+			t.Errorf("%v: same seed produced different data", dist)
+		}
+		if !diff {
+			t.Errorf("%v: different seeds produced identical data", dist)
+		}
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	pts := Points(Gaussian, 50000, 2, 1)
+	var mean, m2 float64
+	for _, p := range pts {
+		mean += p[0]
+		m2 += p[0] * p[0]
+	}
+	n := float64(len(pts))
+	mean /= n
+	variance := m2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	pts := Points(Uniform, 20000, 3, 2)
+	var mean float64
+	for _, p := range pts {
+		for _, v := range p {
+			if v < -0.5 || v >= 0.5 {
+				t.Fatalf("uniform value %v out of [-0.5,0.5)", v)
+			}
+		}
+		mean += p[0]
+	}
+	mean /= float64(len(pts))
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("uniform mean = %v", mean)
+	}
+}
+
+func TestExponentialAndGammaPositive(t *testing.T) {
+	for _, dist := range []Distribution{Exponential, GammaDist} {
+		pts := Points(dist, 5000, 2, 3)
+		var mean float64
+		for _, p := range pts {
+			if p[0] < 0 {
+				t.Fatalf("%v produced negative value %v", dist, p[0])
+			}
+			mean += p[0]
+		}
+		mean /= float64(len(pts))
+		want := 1.0
+		if dist == GammaDist {
+			want = 2.0
+		}
+		if math.Abs(mean-want) > 0.15 {
+			t.Errorf("%v mean = %v, want ~%v", dist, mean, want)
+		}
+	}
+}
+
+func TestSphereAndBallGeometry(t *testing.T) {
+	sph := Points(Sphere, 2000, 3, 4)
+	for i, p := range sph {
+		if math.Abs(geom.Norm(p)-1) > 1e-12 {
+			t.Fatalf("sphere point %d has norm %v", i, geom.Norm(p))
+		}
+	}
+	ball := Points(Ball, 2000, 3, 5)
+	for i, p := range ball {
+		if geom.Norm(p) > 1+1e-12 {
+			t.Fatalf("ball point %d has norm %v", i, geom.Norm(p))
+		}
+	}
+	// Ball points should not all hug the surface: some must be deep inside.
+	deep := 0
+	for _, p := range ball {
+		if geom.Norm(p) < 0.5 {
+			deep++
+		}
+	}
+	if deep == 0 {
+		t.Error("no ball points in the inner half-radius")
+	}
+}
+
+func TestClustered(t *testing.T) {
+	pts, labels := Clustered(900, 2, 3, 0.1, 20, 6)
+	if len(pts) != 900 || len(labels) != 900 {
+		t.Fatal("shape")
+	}
+	// Points with the same label should be mutually closer than points
+	// with different labels, on average.
+	centers := make([][]float64, 3)
+	counts := make([]int, 3)
+	for i, p := range pts {
+		c := labels[i]
+		if centers[c] == nil {
+			centers[c] = make([]float64, 2)
+		}
+		geom.Add(centers[c], centers[c], p)
+		counts[c]++
+	}
+	for c := range centers {
+		if counts[c] == 0 {
+			t.Fatalf("cluster %d empty", c)
+		}
+		geom.Scale(centers[c], 1/float64(counts[c]), centers[c])
+	}
+	for i, p := range pts {
+		own := geom.Dist(p, centers[labels[i]])
+		for c := range centers {
+			if c != labels[i] && geom.Dist(p, centers[c]) < own-1 {
+				t.Fatalf("point %d is much closer to foreign cluster %d", i, c)
+			}
+		}
+	}
+}
+
+func TestQueryWeights(t *testing.T) {
+	qs := QueryWeights(100, 4, 7)
+	if len(qs) != 100 {
+		t.Fatal("count")
+	}
+	for i, w := range qs {
+		if len(w) != 4 {
+			t.Fatalf("query %d dim %d", i, len(w))
+		}
+		var sum float64
+		for _, v := range w {
+			if v < 0 || v >= 1 {
+				t.Fatalf("weight %v out of [0,1)", v)
+			}
+			sum += v
+		}
+		if sum == 0 {
+			t.Fatalf("query %d all-zero", i)
+		}
+	}
+}
+
+func TestDirectionWeights(t *testing.T) {
+	qs := DirectionWeights(50, 3, 8)
+	neg := false
+	for _, w := range qs {
+		if math.Abs(geom.Norm(w)-1) > 1e-12 {
+			t.Fatalf("direction %v not unit", w)
+		}
+		for _, v := range w {
+			if v < 0 {
+				neg = true
+			}
+		}
+	}
+	if !neg {
+		t.Error("sphere directions should include negative components")
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, d := range []Distribution{Gaussian, Uniform, Exponential, GammaDist, Ball, Sphere} {
+		got, err := ParseDistribution(d.String())
+		if err != nil || got != d {
+			t.Errorf("roundtrip %v: %v %v", d, got, err)
+		}
+	}
+	if _, err := ParseDistribution("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

@@ -1,0 +1,270 @@
+// Package onion is a Go implementation of the Onion technique
+// (Chang, Bergman, Castelli, Li, Lo, Smith: "The Onion Technique:
+// Indexing for Linear Optimization Queries", SIGMOD 2000): an index for
+// top-N linear optimization queries
+//
+//	max_{topN}  a1*x1 + a2*x2 + … + ad*xd
+//
+// over records with d numerical attributes, where the weight vector
+// (a1…ad) is known only at query time.
+//
+// The index partitions the records into layered convex hulls: layer 1
+// is the vertex set of the convex hull of all records, layer 2 the
+// vertex set of the hull of the rest, and so on, like the peels of an
+// onion. Because a linear function over a convex region is maximized at
+// a hull vertex, a top-N query never needs to look below the N-th
+// layer, which makes small-N queries orders of magnitude cheaper than a
+// sequential scan.
+//
+// # Quick start
+//
+//	ix, err := onion.Build([]onion.Record{
+//	        {ID: 1, Vector: []float64{9.1, 0.82, 23000}},
+//	        {ID: 2, Vector: []float64{8.7, 0.91, 31000}},
+//	        // …
+//	})
+//	top, err := ix.TopN([]float64{0.6, 0.3, -0.1}, 10)
+//
+// Minimization queries negate the weights (Minimize does it for you).
+// Progressive retrieval — results streamed strictly in rank order, pay
+// only for what you consume — is available through Search. On-disk
+// indexes with the paper's paged flat-file layout are created with Save
+// and queried with OpenDisk. Hierarchies of per-cluster Onions for
+// constrained ("local") queries are built with BuildHierarchy.
+package onion
+
+import (
+	"repro/internal/core"
+	"repro/internal/shells"
+	"repro/internal/storage"
+)
+
+// Record pairs an application-level ID with its attribute vector.
+type Record = core.Record
+
+// Result is one ranked answer: the record ID, its achieved score, and
+// the 0-based Onion layer it came from (-1 when unknown).
+type Result = core.Result
+
+// QueryStats reports the work a query performed: records evaluated and
+// layers accessed (the two quantities the paper's evaluation tables
+// track).
+type QueryStats = core.Stats
+
+// Options tunes index construction. The zero value is ready to use.
+type Options struct {
+	// Tol overrides the geometric tolerance (0 = automatic, derived
+	// from the coordinate scale).
+	Tol float64
+	// MaxLayers stops peeling after this many layers, placing all
+	// remaining records in one final catch-all layer. Queries stay
+	// correct; deep-N pruning degrades. 0 = unbounded.
+	MaxLayers int
+	// Seed makes degenerate-input perturbation fallbacks reproducible.
+	Seed int64
+	// Progress, when non-nil, is invoked after each layer is built.
+	Progress func(layer, assigned, total int)
+}
+
+// Index is an Onion index over a set of records. Queries
+// (TopN/Minimize/Search) are safe for concurrent use; maintenance
+// (Insert/Delete/Update) is not and invalidates concurrent queries.
+type Index struct {
+	ix *core.Index
+	// shellIx, when non-nil, accelerates whole-layer evaluation with
+	// the paper's spherical-shell structure; maintenance invalidates it.
+	shellIx *shells.Index
+}
+
+// Build constructs the layered convex hull over the records (paper
+// Section 3.1). Record IDs must be unique and all vectors must share
+// one dimension. Build is O(layers × n) in distance computations and is
+// by far the most expensive operation — the paper's intended trade:
+// build rarely, query fast.
+func Build(records []Record, opt Options) (*Index, error) {
+	ix, err := core.Build(records, core.Options{
+		Tol:       opt.Tol,
+		MaxLayers: opt.MaxLayers,
+		Seed:      opt.Seed,
+		Progress:  opt.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// TopN returns the n records with the largest weighted attribute sums,
+// in descending score order.
+func (x *Index) TopN(weights []float64, n int) ([]Result, error) {
+	res, _, err := x.TopNStats(weights, n)
+	return res, err
+}
+
+// TopNStats is TopN plus evaluation statistics.
+func (x *Index) TopNStats(weights []float64, n int) ([]Result, QueryStats, error) {
+	if x.shellIx != nil {
+		return x.shellIx.TopN(weights, n)
+	}
+	return x.ix.TopN(weights, n)
+}
+
+// Minimize returns the n records with the smallest weighted sums (the
+// paper's sign-flip reduction to maximization). Scores in the results
+// are the original (un-negated) weighted sums, ascending.
+func (x *Index) Minimize(weights []float64, n int) ([]Result, error) {
+	neg := make([]float64, len(weights))
+	for i, w := range weights {
+		neg[i] = -w
+	}
+	res, _, err := x.TopNStats(neg, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res {
+		res[i].Score = -res[i].Score
+	}
+	return res, nil
+}
+
+// TopNFiltered answers a constrained query on the flat index by
+// streaming the global ranking and keeping records that satisfy pred —
+// the paper's "expand the search to top-M" behavior for local queries
+// (Section 4). The returned stats quantify the expansion; when
+// constraints align with clusters, BuildHierarchy answers them far
+// more cheaply.
+func (x *Index) TopNFiltered(weights []float64, n int, pred func(id uint64, vector []float64) bool) ([]Result, QueryStats, error) {
+	return x.ix.TopNFiltered(weights, n, pred)
+}
+
+// TopNInRanges is TopNFiltered specialized to per-attribute intervals:
+// ranges maps attribute index to an inclusive [lo, hi] bound.
+func (x *Index) TopNInRanges(weights []float64, n int, ranges map[int][2]float64) ([]Result, QueryStats, error) {
+	return x.ix.TopNInRanges(weights, n, ranges)
+}
+
+// Search starts a progressive query: results come back one at a time in
+// exact rank order, so the first answer arrives after evaluating only
+// the outermost layer and abandoning the stream early costs nothing
+// (paper Section 3.3). limit <= 0 streams the complete ranking.
+func (x *Index) Search(weights []float64, limit int) *Stream {
+	return &Stream{s: x.ix.NewSearcher(weights, limit)}
+}
+
+// Insert adds a record, cascading layer repairs inwards (paper Section
+// 3.4). It invalidates any shell acceleration.
+func (x *Index) Insert(rec Record) error {
+	x.shellIx = nil
+	return x.ix.Insert(rec)
+}
+
+// InsertBatch adds several records with a single cascade.
+func (x *Index) InsertBatch(recs []Record) error {
+	x.shellIx = nil
+	return x.ix.InsertBatch(recs)
+}
+
+// Delete removes the record with the given ID, promoting inner records
+// outwards as needed.
+func (x *Index) Delete(id uint64) error {
+	x.shellIx = nil
+	return x.ix.Delete(id)
+}
+
+// DeleteBatch removes several records with a single cascade — the
+// batch maintenance the paper recommends for bulk changes. Unknown or
+// duplicated IDs fail the whole batch before any mutation.
+func (x *Index) DeleteBatch(ids []uint64) error {
+	x.shellIx = nil
+	return x.ix.DeleteBatch(ids)
+}
+
+// Update replaces a record's attribute vector (delete + insert).
+func (x *Index) Update(id uint64, vector []float64) error {
+	x.shellIx = nil
+	return x.ix.Update(id, vector)
+}
+
+// Accelerate builds the paper's spherical-shell auxiliary structure
+// (Section 6, Figure 11) over every layer; subsequent TopN calls
+// evaluate only the angular buckets that can matter, roughly halving
+// evaluated records on uniform data. Maintenance drops the structure;
+// call Accelerate again afterwards.
+func (x *Index) Accelerate() {
+	x.shellIx = shells.New(x.ix)
+}
+
+// Accelerated reports whether shell acceleration is active.
+func (x *Index) Accelerated() bool { return x.shellIx != nil }
+
+// Save writes the index to path in the paged flat-file layout of the
+// paper (Section 3.1): each layer in consecutive 4 KB pages, plus a
+// tiny header of layer extents.
+func (x *Index) Save(path string) error {
+	return storage.Write(path, x.ix)
+}
+
+// Load reads an index file written by Save back into a fully mutable
+// in-memory index, preserving the stored layer partition exactly (no
+// re-peeling).
+func Load(path string) (*Index, error) {
+	ix, err := storage.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// Dim returns the number of numerical attributes.
+func (x *Index) Dim() int { return x.ix.Dim() }
+
+// Len returns the number of records.
+func (x *Index) Len() int { return x.ix.Len() }
+
+// NumLayers returns the number of convex-hull layers.
+func (x *Index) NumLayers() int { return x.ix.NumLayers() }
+
+// LayerSizes returns the record count of each layer, outermost first.
+func (x *Index) LayerSizes() []int { return x.ix.LayerSizes() }
+
+// LayerOf returns the 0-based layer containing the record, if present.
+func (x *Index) LayerOf(id uint64) (int, bool) { return x.ix.LayerOf(id) }
+
+// Records returns all records currently in the index.
+func (x *Index) Records() []Record { return x.ix.Records() }
+
+// TraceEvent narrates one step of query evaluation (layer retrieved,
+// candidate kept, result finalized) — the events of the paper's worked
+// example in Section 3.2 / Figure 4. See examples/figure4.
+type TraceEvent = core.TraceEvent
+
+// Stream is a progressive result iterator. See Index.Search.
+type Stream struct {
+	s *core.Searcher
+}
+
+// Trace attaches a step-by-step evaluation callback to the stream and
+// returns the stream. Must be called before the first Next.
+func (st *Stream) Trace(fn func(TraceEvent)) *Stream {
+	if st.s != nil {
+		st.s.Trace(fn)
+	}
+	return st
+}
+
+// Next returns the next result in rank order; ok is false once the
+// limit is reached or the index exhausted.
+func (st *Stream) Next() (Result, bool) {
+	if st.s == nil {
+		return Result{}, false
+	}
+	return st.s.Next()
+}
+
+// Stats returns the work performed so far.
+func (st *Stream) Stats() QueryStats {
+	if st.s == nil {
+		return QueryStats{}
+	}
+	return st.s.Stats()
+}
