@@ -43,6 +43,12 @@ var (
 	outFlag     = flag.String("out", "", "directory for TSV copies of every series (optional)")
 	progFlag    = flag.Bool("progress", true, "print build progress")
 	plotFlag    = flag.Bool("plot", false, "render ASCII plots for the figure experiments")
+
+	serveLoadFlag = flag.String("serve-load", "", "load-test a query server instead of running experiments: a base URL like http://host:8080, or 'self' to serve a synthetic corpus in-process")
+	serveConcFlag = flag.Int("serve-conc", 16, "serve-load: concurrent clients")
+	serveDurFlag  = flag.Duration("serve-dur", 10*time.Second, "serve-load: measurement duration")
+	serveTopNFlag = flag.Int("serve-topn", 10, "serve-load: N per top-N query")
+	serveOutFlag  = flag.String("serve-out", "BENCH_server.json", "serve-load: summary JSON output path")
 )
 
 // testSet is one of the paper's four synthetic data sets.
@@ -65,6 +71,10 @@ func main() {
 		if queries > 200 {
 			queries = 200
 		}
+	}
+	if *serveLoadFlag != "" {
+		serveLoad(*serveLoadFlag, n, *serveConcFlag, *serveDurFlag, *serveTopNFlag, *serveOutFlag)
+		return
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {

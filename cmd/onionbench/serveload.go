@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// Serving-performance load mode. `onionbench -serve-load self` spins up
+// an in-process onionserve instance over a synthetic corpus and drives
+// it with -serve-conc concurrent clients for -serve-dur, recording
+// throughput and client-side latency quantiles; `-serve-load URL`
+// drives an already-running server instead. The summary is written to
+// -serve-out (BENCH_server.json) so later PRs have a serving baseline
+// to regress against.
+
+// serveLoadReport is the JSON emitted to -serve-out.
+type serveLoadReport struct {
+	Kind        string  `json:"kind"` // "onionserve-load"
+	Generated   string  `json:"generated"`
+	Addr        string  `json:"addr"`
+	SelfHosted  bool    `json:"self_hosted"`
+	Points      int     `json:"points,omitempty"` // self-hosted corpus size
+	Dim         int     `json:"dim"`
+	Records     int     `json:"records"` // live records reported by healthz
+	Layers      int     `json:"layers"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+	TopN        int     `json:"topn"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	QPS         float64 `json:"qps"`
+	LatencyMS   struct {
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		Max  float64 `json:"max"`
+		Mean float64 `json:"mean"`
+	} `json:"latency_ms"`
+	ServerMetrics json.RawMessage `json:"server_metrics,omitempty"`
+}
+
+func serveLoad(target string, n, conc int, dur time.Duration, topn int, outPath string) {
+	baseURL := target
+	selfHosted := target == "self"
+	points := 0
+	if selfHosted {
+		ix, built := buildServeCorpus(n)
+		points = built
+		srv := server.New(ix, server.Config{MaxInFlight: 4 * conc})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		baseURL = "http://" + ln.Addr().String()
+	}
+
+	var health struct {
+		OK      bool `json:"ok"`
+		Records int  `json:"records"`
+		Layers  int  `json:"layers"`
+		Dim     int  `json:"dim"`
+	}
+	if err := getJSON(baseURL+"/v1/healthz", &health); err != nil {
+		fatal(fmt.Errorf("healthz %s: %w", baseURL, err))
+	}
+	if !health.OK {
+		fatal(fmt.Errorf("server at %s reports unhealthy", baseURL))
+	}
+
+	fmt.Printf("=== serve-load: %s (records=%d dim=%d layers=%d) conc=%d dur=%v topn=%d ===\n",
+		baseURL, health.Records, health.Dim, health.Layers, conc, dur, topn)
+
+	// Pre-marshal a pool of random-weight request bodies (the paper's
+	// random query load) so workers spend their time on requests, not
+	// marshalling.
+	weights := workload.QueryWeights(256, health.Dim, *seedFlag+123)
+	bodies := make([][]byte, len(weights))
+	for i, w := range weights {
+		b, err := json.Marshal(server.TopNRequest{Weights: w, N: topn})
+		if err != nil {
+			fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * conc,
+		MaxIdleConnsPerHost: 2 * conc,
+	}}
+	deadline := time.Now().Add(dur)
+	latencies := make([][]time.Duration, conc)
+	errCounts := make([]int64, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < conc; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, 4096)
+			for i := g; time.Now().Before(deadline); i++ {
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+"/v1/topn", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCounts[g]++
+					continue
+				}
+				var tr server.TopNResponse
+				err = json.NewDecoder(resp.Body).Decode(&tr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK || len(tr.Results) == 0 {
+					errCounts[g]++
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[g] = lats
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	var errs int64
+	for g := 0; g < conc; g++ {
+		all = append(all, latencies[g]...)
+		errs += errCounts[g]
+	}
+	if len(all) == 0 {
+		fatal(fmt.Errorf("no successful requests against %s (%d errors)", baseURL, errs))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	pct := func(q float64) time.Duration {
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+
+	rep := serveLoadReport{
+		Kind:        "onionserve-load",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Addr:        baseURL,
+		SelfHosted:  selfHosted,
+		Points:      points,
+		Dim:         health.Dim,
+		Records:     health.Records,
+		Layers:      health.Layers,
+		Concurrency: conc,
+		DurationS:   elapsed.Seconds(),
+		TopN:        topn,
+		Requests:    int64(len(all)),
+		Errors:      errs,
+		QPS:         float64(len(all)) / elapsed.Seconds(),
+	}
+	rep.LatencyMS.P50 = ms(pct(0.50))
+	rep.LatencyMS.P90 = ms(pct(0.90))
+	rep.LatencyMS.P99 = ms(pct(0.99))
+	rep.LatencyMS.Max = ms(all[len(all)-1])
+	rep.LatencyMS.Mean = ms(sum / time.Duration(len(all)))
+	if raw, err := getRaw(baseURL + "/v1/metrics"); err == nil {
+		rep.ServerMetrics = raw
+	}
+
+	fmt.Printf("%d requests in %.1fs (%d errors): %.0f qps\n",
+		rep.Requests, rep.DurationS, rep.Errors, rep.QPS)
+	fmt.Printf("latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f mean=%.3f\n",
+		rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.P99, rep.LatencyMS.Max, rep.LatencyMS.Mean)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+func buildServeCorpus(n int) (*core.Index, int) {
+	start := time.Now()
+	pts := workload.Points(workload.Gaussian, n, 3, *seedFlag)
+	recs := make([]core.Record, n)
+	for i, p := range pts {
+		recs[i] = core.Record{ID: uint64(i + 1), Vector: p}
+	}
+	ix, err := core.Build(recs, core.Options{Seed: *seedFlag})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built serve corpus: 3D Gaussian n=%d, %d layers, in %v\n",
+		n, ix.NumLayers(), time.Since(start).Round(time.Millisecond))
+	return ix, n
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func getRaw(url string) (json.RawMessage, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}

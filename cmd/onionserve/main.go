@@ -1,0 +1,152 @@
+// Command onionserve serves linear optimization queries from an Onion
+// index over JSON/HTTP — the deployment shape the paper motivates
+// (Section 1: interactive top-N model-based queries for e-commerce and
+// multimedia search).
+//
+//	onionserve -index colleges.onion -addr :8080
+//	onionserve -random 100000 -dim 3 -dist gaussian   # synthetic demo corpus
+//
+// Endpoints:
+//
+//	POST /v1/topn     {"weights":[...], "n":10}        → ranked results + stats
+//	POST /v1/search   {"weights":[...], "limit":0}     → NDJSON progressive stream
+//	POST /v1/insert   {"records":[{"id":1,"vector":[...]}]}
+//	POST /v1/delete   {"ids":[1,2,3]}
+//	GET  /v1/metrics                                    → counters + latency quantiles
+//	GET  /v1/healthz
+//
+// Queries run lock-free against an immutable snapshot; mutations are
+// batched by a single mutator goroutine and published by atomic
+// pointer swap (see internal/server). SIGINT/SIGTERM drain active
+// requests, flush pending mutations, and optionally persist the final
+// snapshot with -save-on-exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+var (
+	addrFlag     = flag.String("addr", ":8080", "listen address")
+	indexFlag    = flag.String("index", "", "index file to serve (built with onionctl or Save)")
+	randomFlag   = flag.Int("random", 0, "serve a synthetic corpus of this many points instead of -index")
+	dimFlag      = flag.Int("dim", 3, "dimensionality of the synthetic corpus")
+	distFlag     = flag.String("dist", "gaussian", "distribution of the synthetic corpus")
+	seedFlag     = flag.Int64("seed", 1, "RNG seed for the synthetic corpus")
+	inflightFlag = flag.Int("max-inflight", 64, "admission cap on concurrent queries")
+	timeoutFlag  = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline")
+	resultsFlag  = flag.Int("max-results", 100_000, "cap on topn n / search limit (0 = unlimited)")
+	batchFlag    = flag.Int("max-batch", 32, "max mutations coalesced per snapshot rebuild")
+	saveFlag     = flag.String("save-on-exit", "", "persist the final snapshot to this path on shutdown")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("onionserve: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	ix, err := loadIndex()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("index ready: %d records, %d attributes, %d layers", ix.Len(), ix.Dim(), ix.NumLayers())
+
+	srv := server.New(ix, server.Config{
+		MaxInFlight:  *inflightFlag,
+		MaxBatchOps:  *batchFlag,
+		QueryTimeout: *timeoutFlag,
+		MaxResults:   *resultsFlag,
+	})
+	srv.PublishVars("onionserve") // visible on /debug/vars too, if imported
+
+	httpSrv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addrFlag)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down: draining active requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(shutCtx); err != nil {
+		log.Printf("mutator drain: %v", err)
+	}
+	if *saveFlag != "" {
+		if err := storage.Write(*saveFlag, srv.Snapshot()); err != nil {
+			log.Printf("save-on-exit: %v", err)
+		} else {
+			log.Printf("snapshot saved to %s", *saveFlag)
+		}
+	}
+	log.Print("bye")
+}
+
+func loadIndex() (*core.Index, error) {
+	switch {
+	case *indexFlag != "" && *randomFlag > 0:
+		return nil, errors.New("-index and -random are mutually exclusive")
+	case *indexFlag != "":
+		start := time.Now()
+		ix, err := storage.Load(*indexFlag)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", *indexFlag, err)
+		}
+		log.Printf("loaded %s in %v", *indexFlag, time.Since(start).Round(time.Millisecond))
+		return ix, nil
+	case *randomFlag > 0:
+		dist, err := workload.ParseDistribution(*distFlag)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		pts := workload.Points(dist, *randomFlag, *dimFlag, *seedFlag)
+		recs := make([]core.Record, len(pts))
+		for i, p := range pts {
+			recs[i] = core.Record{ID: uint64(i + 1), Vector: p}
+		}
+		ix, err := core.Build(recs, core.Options{Seed: *seedFlag})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("built synthetic %s %dD corpus (n=%d) in %v",
+			*distFlag, *dimFlag, *randomFlag, time.Since(start).Round(time.Millisecond))
+		return ix, nil
+	default:
+		fmt.Fprintln(os.Stderr, "onionserve: need -index FILE or -random N")
+		flag.Usage()
+		os.Exit(2)
+		return nil, nil
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -38,16 +39,19 @@ var errDim = errors.New("core: weight vector dimension mismatch")
 // beats the maximum of the current layer, which no deeper layer can
 // exceed (Corollary 1).
 func (ix *Index) TopN(weights []float64, n int) ([]Result, Stats, error) {
-	if ix.sorted != nil && len(weights) == ix.dim && n > 0 {
+	// Validate the dimension before consulting any fast path so that a
+	// mismatched weight vector fails identically whether or not sorted
+	// columns are enabled.
+	if len(weights) != ix.dim {
+		return nil, Stats{}, fmt.Errorf("%w: got %d, want %d", errDim, len(weights), ix.dim)
+	}
+	if ix.sorted != nil && n > 0 {
 		if axis, ok := singleAxis(weights); ok {
 			res, st := ix.topNSorted(weights, axis, n)
 			return res, st, nil
 		}
 	}
 	s := ix.NewSearcher(weights, n)
-	if s == nil {
-		return nil, Stats{}, fmt.Errorf("%w: got %d, want %d", errDim, len(weights), ix.dim)
-	}
 	out := make([]Result, 0, n)
 	for {
 		r, ok := s.Next()
@@ -74,6 +78,35 @@ type Searcher struct {
 	emitPos int
 	stats   Stats
 	trace   func(TraceEvent) // optional step-by-step narration
+	ctx     context.Context  // optional cancellation; nil = never cancelled
+	err     error            // ctx error once observed
+}
+
+// WithContext attaches ctx to the searcher: once ctx is cancelled or its
+// deadline passes, Next stops before evaluating any further layer and
+// reports no more results. The cause is available through Err. This is
+// the hook a network server needs so an abandoned progressive stream
+// stops consuming layers. Returns the searcher for chaining; must be
+// called before the first Next.
+func (s *Searcher) WithContext(ctx context.Context) *Searcher {
+	s.ctx = ctx
+	return s
+}
+
+// Err returns the context error that stopped the search, or nil when
+// the search ended by limit or exhaustion (or is still running).
+func (s *Searcher) Err() error { return s.err }
+
+// cancelled records and reports a context cancellation.
+func (s *Searcher) cancelled() bool {
+	if s.ctx == nil {
+		return false
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return true
+	}
+	return false
 }
 
 // NewSearcher prepares a progressive query. limit bounds the number of
@@ -97,10 +130,15 @@ func (s *Searcher) Stats() Stats { return s.stats }
 // Next returns the next result in rank order. ok is false when the
 // limit has been reached or the index is exhausted.
 func (s *Searcher) Next() (Result, bool) {
-	if s.remain == 0 {
+	if s.remain == 0 || s.err != nil || s.cancelled() {
 		return Result{}, false
 	}
 	for s.emitPos >= len(s.emit) {
+		// Re-checked inside the refill loop so a cancelled context is
+		// observed before every layer evaluation, not just once per result.
+		if s.cancelled() {
+			return Result{}, false
+		}
 		if !s.advance() {
 			return Result{}, false
 		}

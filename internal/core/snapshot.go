@@ -1,0 +1,37 @@
+package core
+
+// Snapshot support. A serving system wants copy-on-write semantics: an
+// immutable index answers queries lock-free while a mutator applies a
+// batch of maintenance to a private clone and then publishes it with one
+// atomic pointer swap. Clone provides the copy; attribute vectors are
+// shared between the original and the clone because nothing in this
+// package ever writes into a stored vector (alloc copies the caller's
+// slice, unalloc drops the reference, and the hull reads positions only).
+
+// Clone returns an independent copy of the index. Maintenance on the
+// clone (Insert, Delete, cascades) never alters the original, so a
+// query running against the original concurrently with maintenance on
+// the clone is safe. The optional sorted-column fast path is not
+// carried over — maintenance would invalidate it anyway; call
+// EnableSortedColumns on the clone if needed.
+func (ix *Index) Clone() *Index {
+	cp := &Index{
+		dim:     ix.dim,
+		pts:     append([][]float64(nil), ix.pts...),
+		ids:     append([]uint64(nil), ix.ids...),
+		layers:  make([][]int, len(ix.layers)),
+		layerOf: append([]int(nil), ix.layerOf...),
+		posOf:   make(map[uint64]int, len(ix.posOf)),
+		free:    append([]int(nil), ix.free...),
+		tol:     ix.tol,
+		seed:    ix.seed,
+		joggled: ix.joggled,
+	}
+	for k, l := range ix.layers {
+		cp.layers[k] = append([]int(nil), l...)
+	}
+	for id, p := range ix.posOf {
+		cp.posOf[id] = p
+	}
+	return cp
+}

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Wire types. The JSON surface is deliberately small and stable:
+// clients send weights, get back (id, score, layer) triples plus the
+// paper's two work counters.
+
+// TopNRequest is the body of POST /v1/topn.
+type TopNRequest struct {
+	Weights []float64 `json:"weights"`
+	N       int       `json:"n"`
+}
+
+// SearchRequest is the body of POST /v1/search. Limit <= 0 streams the
+// complete ranking.
+type SearchRequest struct {
+	Weights []float64 `json:"weights"`
+	Limit   int       `json:"limit"`
+}
+
+// RecordJSON is one record in an insert request.
+type RecordJSON struct {
+	ID     uint64    `json:"id"`
+	Vector []float64 `json:"vector"`
+}
+
+// InsertRequest is the body of POST /v1/insert.
+type InsertRequest struct {
+	Records []RecordJSON `json:"records"`
+}
+
+// DeleteRequest is the body of POST /v1/delete.
+type DeleteRequest struct {
+	IDs []uint64 `json:"ids"`
+}
+
+// ResultJSON is one ranked answer on the wire.
+type ResultJSON struct {
+	ID    uint64  `json:"id"`
+	Score float64 `json:"score"`
+	Layer int     `json:"layer"`
+}
+
+// StatsJSON mirrors core.Stats.
+type StatsJSON struct {
+	RecordsEvaluated int `json:"records_evaluated"`
+	LayersAccessed   int `json:"layers_accessed"`
+}
+
+// TopNResponse is the body of a successful POST /v1/topn.
+type TopNResponse struct {
+	Results []ResultJSON `json:"results"`
+	Stats   StatsJSON    `json:"stats"`
+}
+
+// SearchTrailer is the final NDJSON line of a completed /v1/search
+// stream (result lines carry no "done" field).
+type SearchTrailer struct {
+	Done  bool      `json:"done"`
+	Stats StatsJSON `json:"stats"`
+}
+
+// MutateResponse is the body of a successful insert/delete.
+type MutateResponse struct {
+	Applied int `json:"applied"` // records inserted or deleted
+	Len     int `json:"len"`     // live records after the swap
+	Layers  int `json:"layers"`  // layers after the swap
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	OK      bool `json:"ok"`
+	Records int  `json:"records"`
+	Layers  int  `json:"layers"`
+	Dim     int  `json:"dim"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP surface of the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topn", s.handleTopN)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// queryContext applies the configured default deadline when the client
+// request carries none.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			return context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		}
+	}
+	return ctx, func() {}
+}
+
+func (s *Server) clampLimit(n int) int {
+	if s.cfg.MaxResults > 0 && (n <= 0 || n > s.cfg.MaxResults) {
+		return s.cfg.MaxResults
+	}
+	return n
+}
+
+func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
+	var req TopNRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.N <= 0 {
+		writeErr(w, http.StatusBadRequest, "n must be positive")
+		return
+	}
+	if !s.admit() {
+		writeErr(w, http.StatusTooManyRequests, "server at max in-flight queries")
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+
+	start := time.Now()
+	snap := s.Snapshot()
+	n := s.clampLimit(req.N)
+	// The context-aware Searcher rather than Index.TopN, so a deadline
+	// or a dropped connection stops the layer walk mid-query.
+	sr := snap.NewSearcher(req.Weights, n)
+	if sr == nil {
+		writeErr(w, http.StatusBadRequest, "weight dimension %d, index dimension %d", len(req.Weights), snap.Dim())
+		return
+	}
+	sr.WithContext(ctx)
+	results := make([]ResultJSON, 0, n)
+	for {
+		res, ok := sr.Next()
+		if !ok {
+			break
+		}
+		results = append(results, ResultJSON{ID: res.ID, Score: res.Score, Layer: res.Layer})
+	}
+	st := sr.Stats()
+	s.metrics.observeQuery(st, time.Since(start), s.metrics.topnLatency)
+	if err := sr.Err(); err != nil {
+		s.metrics.queriesTimeout.Add(1)
+		writeErr(w, http.StatusServiceUnavailable, "query stopped: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TopNResponse{
+		Results: results,
+		Stats:   StatsJSON{RecordsEvaluated: st.RecordsEvaluated, LayersAccessed: st.LayersAccessed},
+	})
+}
+
+// handleSearch streams progressive retrieval as NDJSON: one ResultJSON
+// per line in exact rank order, then a SearchTrailer line on normal
+// completion. Clients pay only for the ranks they read; closing the
+// connection cancels the request context, which stops the Searcher
+// before its next layer.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !s.admit() {
+		writeErr(w, http.StatusTooManyRequests, "server at max in-flight queries")
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+
+	start := time.Now()
+	snap := s.Snapshot()
+	sr := snap.NewSearcher(req.Weights, s.clampLimit(req.Limit))
+	if sr == nil {
+		writeErr(w, http.StatusBadRequest, "weight dimension %d, index dimension %d", len(req.Weights), snap.Dim())
+		return
+	}
+	sr.WithContext(ctx)
+	s.metrics.searchStreams.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for {
+		res, ok := sr.Next()
+		if !ok {
+			break
+		}
+		if enc.Encode(ResultJSON{ID: res.ID, Score: res.Score, Layer: res.Layer}) != nil {
+			break // client went away; ctx cancel stops the searcher too
+		}
+		// Flush per result: progressive retrieval's whole point is that
+		// rank M arrives without waiting for rank M+1 to be computed.
+		bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	st := sr.Stats()
+	s.metrics.observeQuery(st, time.Since(start), s.metrics.searchLatency)
+	if err := sr.Err(); err != nil {
+		s.metrics.searchCancelled.Add(1)
+		return // mid-stream; nothing useful to append
+	}
+	enc.Encode(SearchTrailer{Done: true, Stats: StatsJSON{RecordsEvaluated: st.RecordsEvaluated, LayersAccessed: st.LayersAccessed}})
+	bw.Flush()
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Records) == 0 {
+		writeErr(w, http.StatusBadRequest, "no records")
+		return
+	}
+	recs := make([]core.Record, len(req.Records))
+	for i, rec := range req.Records {
+		recs[i] = core.Record{ID: rec.ID, Vector: rec.Vector}
+	}
+	if err := s.Insert(r.Context(), recs); err != nil {
+		writeMutationErr(w, err)
+		return
+	}
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, MutateResponse{Applied: len(recs), Len: snap.Len(), Layers: snap.NumLayers()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeErr(w, http.StatusBadRequest, "no ids")
+		return
+	}
+	if err := s.Delete(r.Context(), req.IDs); err != nil {
+		writeMutationErr(w, err)
+		return
+	}
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, MutateResponse{Applied: len(req.IDs), Len: snap.Len(), Layers: snap.NumLayers()})
+}
+
+func writeMutationErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrDuplicateID):
+		writeErr(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, core.ErrNotFound):
+		writeErr(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusServiceUnavailable, "mutation wait aborted: %v (the batch may still apply)", err)
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, s.metrics.vars.String())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:      true,
+		Records: snap.Len(),
+		Layers:  snap.NumLayers(),
+		Dim:     snap.Dim(),
+	})
+}

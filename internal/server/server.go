@@ -1,0 +1,245 @@
+// Package server turns an Onion index into a concurrent network query
+// service. The paper positions the index as the engine behind
+// interactive top-N model-based queries (Section 1: e-commerce ranking,
+// multimedia search); this package supplies the serving shape those
+// applications assume, using only the standard library.
+//
+// # Concurrency model: snapshot isolation
+//
+// The core index is mutable but not safe for concurrent query +
+// maintenance use. Rather than wrap it in locks — which would stall
+// every query behind each hull-rebuilding cascade — the server keeps
+// the current index behind an atomic.Pointer. Queries load the pointer
+// once and run entirely against that immutable snapshot; they never
+// block and never observe a partially applied change. All mutations
+// funnel through a single mutator goroutine that coalesces pending
+// operations into a batch, applies them to a private Clone of the
+// current snapshot (reusing the batch cascades of core's maintain.go),
+// and publishes the result with one pointer swap. Readers see either
+// the old snapshot or the new one — never a torn index.
+//
+// The trade-off versus fine-grained locking: mutations pay a full
+// index copy (O(n) pointers, not O(n) vectors — attribute data is
+// shared) and queries may serve slightly stale data during a rebuild,
+// but the query path is wait-free and the mutation path amortizes its
+// cost across every operation coalesced into the batch. For a
+// read-dominated top-N service this is the right corner of the space.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config tunes the server. The zero value is ready to use.
+type Config struct {
+	// MaxInFlight caps concurrently admitted queries; further requests
+	// are rejected with 429 so that overload degrades crisply instead of
+	// queueing without bound. 0 means 64.
+	MaxInFlight int
+	// MaxBatchOps bounds how many pending mutations the mutator folds
+	// into one snapshot rebuild. 0 means 32.
+	MaxBatchOps int
+	// QueryTimeout is the per-request deadline applied to query
+	// endpoints when the client supplies none. 0 means 30s; negative
+	// disables the default deadline.
+	QueryTimeout time.Duration
+	// MaxResults caps the n of /v1/topn and the limit of /v1/search
+	// (0 = unlimited). A cap keeps one greedy client from turning a
+	// top-N service into a full-sort service.
+	MaxResults int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxInFlight == 0 {
+		out.MaxInFlight = 64
+	}
+	if out.MaxBatchOps == 0 {
+		out.MaxBatchOps = 32
+	}
+	if out.QueryTimeout == 0 {
+		out.QueryTimeout = 30 * time.Second
+	}
+	return out
+}
+
+// ErrClosed is returned by mutations submitted after Close.
+var ErrClosed = errors.New("server: shutting down")
+
+// op is one mutation travelling to the mutator goroutine. Exactly one
+// of insert/del is set. reply is buffered (capacity 1) so the mutator
+// never blocks on an abandoned caller.
+type op struct {
+	insert []core.Record
+	del    []uint64
+	reply  chan error
+}
+
+// Server serves linear optimization queries over one Onion index.
+// Create with New; it is ready immediately. Close stops the mutator.
+type Server struct {
+	cfg  Config
+	snap atomic.Pointer[core.Index]
+	sem  chan struct{} // admission tokens for query endpoints
+	ops  chan op
+	done chan struct{} // closed when the mutator exits
+
+	mu     sync.RWMutex // guards closed + sends on ops
+	closed bool
+
+	metrics *metrics
+}
+
+// New wraps ix in a serving layer. The caller must not mutate ix after
+// handing it over; the server owns it from here on.
+func New(ix *core.Index, cfg Config) *Server {
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:     c,
+		sem:     make(chan struct{}, c.MaxInFlight),
+		ops:     make(chan op, 4*c.MaxBatchOps),
+		done:    make(chan struct{}),
+		metrics: newMetrics(),
+	}
+	s.snap.Store(ix)
+	go s.mutator()
+	return s
+}
+
+// Snapshot returns the current immutable index. Callers may query it
+// freely and indefinitely; it is never mutated after publication.
+func (s *Server) Snapshot() *core.Index { return s.snap.Load() }
+
+// Insert submits records for insertion and waits for the batch that
+// contains them to be applied (or ctx to expire — the mutation may
+// still be applied after an early return).
+func (s *Server) Insert(ctx context.Context, recs []core.Record) error {
+	return s.submit(ctx, op{insert: recs, reply: make(chan error, 1)})
+}
+
+// Delete submits IDs for deletion, with Insert's semantics.
+func (s *Server) Delete(ctx context.Context, ids []uint64) error {
+	return s.submit(ctx, op{del: ids, reply: make(chan error, 1)})
+}
+
+func (s *Server) submit(ctx context.Context, o op) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	// Send while holding the read lock so Close cannot close(ops) between
+	// the flag check and the send. The mutator drains continuously, so
+	// the send cannot block for long.
+	s.ops <- o
+	s.mu.RUnlock()
+	select {
+	case err := <-o.reply:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting mutations, waits for the mutator to drain and
+// apply everything already queued, and returns. Queries against
+// already-loaded snapshots remain valid forever; the HTTP layer is shut
+// down separately (http.Server.Shutdown).
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.ops)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// mutator is the single goroutine through which every index mutation
+// flows. It coalesces queued operations, applies them to a clone, and
+// publishes the clone with one atomic swap.
+func (s *Server) mutator() {
+	defer close(s.done)
+	for o := range s.ops {
+		batch := []op{o}
+	coalesce:
+		for len(batch) < s.cfg.MaxBatchOps {
+			select {
+			case o2, ok := <-s.ops:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, o2)
+			default:
+				break coalesce
+			}
+		}
+		s.apply(batch)
+	}
+}
+
+// apply runs one batch: clone once, apply each operation in arrival
+// order (each op is individually atomic — InsertBatch/DeleteBatch
+// validate before mutating), swap once, then release the callers.
+// Replies are sent only after the swap so a caller that saw success can
+// immediately read its own write.
+func (s *Server) apply(batch []op) {
+	start := time.Now()
+	next := s.snap.Load().Clone()
+	errs := make([]error, len(batch))
+	applied := 0
+	for i, o := range batch {
+		var err error
+		switch {
+		case len(o.insert) > 0:
+			err = next.InsertBatch(o.insert)
+		case len(o.del) > 0:
+			err = next.DeleteBatch(o.del)
+		}
+		errs[i] = err
+		if err == nil && (len(o.insert) > 0 || len(o.del) > 0) {
+			applied++
+		}
+		s.metrics.mutationOps.Add(1)
+		if err != nil {
+			s.metrics.mutationErrors.Add(1)
+		}
+	}
+	if applied > 0 {
+		s.snap.Store(next)
+		s.metrics.snapshotSwaps.Add(1)
+		s.metrics.rebuildNanos.Add(time.Since(start).Nanoseconds())
+		s.metrics.mutateLatency.observe(time.Since(start))
+	}
+	for i, o := range batch {
+		o.reply <- errs[i]
+	}
+}
+
+// admit reserves an admission slot, reporting false on saturation.
+func (s *Server) admit() bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.inflight.Add(1)
+		return true
+	default:
+		s.metrics.queriesRejected.Add(1)
+		return false
+	}
+}
+
+func (s *Server) release() {
+	<-s.sem
+	s.metrics.inflight.Add(-1)
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestSnapshotIsolationStress is the reader/writer acceptance test: N
+// goroutines hammer TopN and progressive Search against snapshots while
+// one writer inserts and deletes a sentinel batch through the server's
+// mutator path. Every response must be internally rank-ordered, and —
+// because each batch is applied to a private clone and published with
+// one pointer swap — no query may ever observe a half-applied batch:
+// queries see either all sentinels or none. Run under -race.
+func TestSnapshotIsolationStress(t *testing.T) {
+	const (
+		baseN     = 1500
+		sentinels = 8
+		readers   = 6
+		cycles    = 25
+	)
+	ix := buildIndex(t, baseN, 2, 7) // Gaussian: |score| ≪ sentinel scores
+	s := New(ix, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	// Sentinel batch: scores so large that, when present, all of them
+	// occupy the top ranks for the probe weights.
+	batch := make([]core.Record, sentinels)
+	ids := make([]uint64, sentinels)
+	sentinelID := func(id uint64) bool { return id >= 1<<40 }
+	for i := range batch {
+		id := uint64(1<<40 + i)
+		ids[i] = id
+		batch[i] = core.Record{ID: id, Vector: []float64{500 + float64(i), 500 - 0.5*float64(i)}}
+	}
+	probe := []float64{1, 1}
+
+	var stop atomic.Bool
+	var queries atomic.Int64
+	errc := make(chan error, readers+2)
+	var wg sync.WaitGroup
+	// The writer waits until every reader has completed one query so the
+	// mutation cycles genuinely overlap with concurrent reads.
+	var ready sync.WaitGroup
+	ready.Add(readers + 1)
+
+	checkResults := func(res []core.Result) error {
+		seen := 0
+		for i, r := range res {
+			if i > 0 && r.Score > res[i-1].Score {
+				return errf("rank order violated at %d: %v after %v", i, r, res[i-1])
+			}
+			if sentinelID(r.ID) {
+				seen++
+			}
+		}
+		if seen != 0 && seen != sentinels {
+			return errf("torn batch: saw %d of %d sentinels in %v", seen, sentinels, res)
+		}
+		return nil
+	}
+
+	// Readers: direct snapshot queries (the server's own query path).
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			first := true
+			defer func() {
+				if first {
+					ready.Done() // unblock the writer even on an early error
+				}
+			}()
+			for !stop.Load() {
+				snap := s.Snapshot()
+				if rng.Intn(2) == 0 {
+					res, _, err := snap.TopN(probe, sentinels)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if err := checkResults(res); err != nil {
+						errc <- err
+						return
+					}
+				} else {
+					sr := snap.NewSearcher(probe, sentinels)
+					var res []core.Result
+					for {
+						r, ok := sr.Next()
+						if !ok {
+							break
+						}
+						res = append(res, r)
+					}
+					if err := checkResults(res); err != nil {
+						errc <- err
+						return
+					}
+				}
+				queries.Add(1)
+				if first {
+					first = false
+					ready.Done()
+				}
+			}
+		}(int64(g))
+	}
+
+	// One HTTP-level reader exercises the full handler stack.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first := true
+		defer func() {
+			if first {
+				ready.Done()
+			}
+		}()
+		body, _ := json.Marshal(TopNRequest{Weights: probe, N: sentinels})
+		for !stop.Load() {
+			resp, err := http.Post(ts.URL+"/v1/topn", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errc <- err
+				return
+			}
+			var tr TopNResponse
+			err = json.NewDecoder(resp.Body).Decode(&tr)
+			resp.Body.Close()
+			if err != nil {
+				errc <- err
+				return
+			}
+			res := make([]core.Result, len(tr.Results))
+			for i, r := range tr.Results {
+				res[i] = core.Result{ID: r.ID, Score: r.Score, Layer: r.Layer}
+			}
+			if err := checkResults(res); err != nil {
+				errc <- err
+				return
+			}
+			queries.Add(1)
+			if first {
+				first = false
+				ready.Done()
+			}
+		}
+	}()
+
+	// Writer: insert the whole batch, delete the whole batch, repeat —
+	// through the mutator, like /v1/insert and /v1/delete do.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		ready.Wait() // every reader is live before the first mutation
+		ctx := context.Background()
+		for c := 0; c < cycles; c++ {
+			if err := s.Insert(ctx, batch); err != nil {
+				errc <- errf("cycle %d insert: %v", c, err)
+				return
+			}
+			if err := s.Delete(ctx, ids); err != nil {
+				errc <- errf("cycle %d delete: %v", c, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if q := queries.Load(); q == 0 {
+		t.Fatal("no reader queries completed during the stress window")
+	}
+	if swaps := s.metrics.snapshotSwaps.Value(); swaps == 0 {
+		t.Fatal("no snapshot swaps recorded")
+	}
+	// The index must be exactly back to its base contents.
+	snap := s.Snapshot()
+	if snap.Len() != baseN {
+		t.Fatalf("final length %d, want %d", snap.Len(), baseN)
+	}
+	for _, id := range ids {
+		if _, ok := snap.LayerOf(id); ok {
+			t.Fatalf("sentinel %d survived", id)
+		}
+	}
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("stress: "+format, args...)
+}

@@ -34,6 +34,8 @@
 package onion
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/shells"
 	"repro/internal/storage"
@@ -149,6 +151,29 @@ func (x *Index) TopNInRanges(weights []float64, n int, ranges map[int][2]float64
 // (paper Section 3.3). limit <= 0 streams the complete ranking.
 func (x *Index) Search(weights []float64, limit int) *Stream {
 	return &Stream{s: x.ix.NewSearcher(weights, limit)}
+}
+
+// SearchContext is Search bound to a context: when ctx is cancelled or
+// its deadline passes, the stream stops before evaluating any further
+// layer and Stream.Err reports the cause. This is the query shape a
+// network server wants — an abandoned client stops costing work.
+func (x *Index) SearchContext(ctx context.Context, weights []float64, limit int) *Stream {
+	s := x.ix.NewSearcher(weights, limit)
+	if s != nil {
+		s.WithContext(ctx)
+	}
+	return &Stream{s: s}
+}
+
+// Clone returns an independent deep copy of the index: maintenance on
+// the clone never affects the original (attribute vectors, which are
+// immutable, are shared). This is the substrate for snapshot-isolated
+// serving — apply a batch of changes to a clone, then atomically swap
+// it in — as cmd/onionserve does. Shell acceleration and sorted-column
+// structures are not carried over; re-enable them on the clone if
+// needed.
+func (x *Index) Clone() *Index {
+	return &Index{ix: x.ix.Clone()}
 }
 
 // Insert adds a record, cascading layer repairs inwards (paper Section
@@ -267,4 +292,13 @@ func (st *Stream) Stats() QueryStats {
 		return QueryStats{}
 	}
 	return st.s.Stats()
+}
+
+// Err returns the context error that stopped a SearchContext stream, or
+// nil when the stream ended by limit or exhaustion (or is still going).
+func (st *Stream) Err() error {
+	if st.s == nil {
+		return nil
+	}
+	return st.s.Err()
 }

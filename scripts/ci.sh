@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI gate: build everything, vet everything, and run the full test
+# suite under the race detector. The race detector is mandatory — the
+# serving layer (internal/server) has real concurrency: lock-free
+# snapshot queries racing a mutator goroutine's atomic pointer swaps.
+#
+# Usage: scripts/ci.sh [extra go-test args]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./... $*"
+go test -race "$@" ./...
+
+echo "CI OK"

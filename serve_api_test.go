@@ -1,0 +1,97 @@
+package onion
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The public serve-friendly surface: Clone for snapshot-swap serving,
+// SearchContext for deadline-bound progressive streams.
+
+func TestPublicCloneIsolation(t *testing.T) {
+	recs, _ := testRecords(workload.Gaussian, 400, 3, 12)
+	ix, err := Build(recs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0.5, 0.25, 0.25}
+	before, err := ix.TopN(w, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := ix.Clone()
+	if err := cp.Insert(Record{ID: 77777, Vector: []float64{50, 50, 50}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ix.TopN(w, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("original changed at %d: %+v vs %+v", i, after[i], before[i])
+		}
+	}
+	top, err := cp.TopN(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].ID != 77777 {
+		t.Fatalf("clone missing its own insert: %+v", top[0])
+	}
+}
+
+func TestSearchContextCancellation(t *testing.T) {
+	recs, _ := testRecords(workload.Gaussian, 1500, 2, 8)
+	ix, err := Build(recs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	st := ix.SearchContext(ctx, []float64{0.9, 0.1}, 0)
+	if _, ok := st.Next(); !ok {
+		t.Fatal("first result missing")
+	}
+	layers := st.Stats().LayersAccessed
+	cancel()
+	if _, ok := st.Next(); ok {
+		t.Fatal("stream continued after cancel")
+	}
+	if !errors.Is(st.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", st.Err())
+	}
+	if got := st.Stats().LayersAccessed; got != layers {
+		t.Fatalf("layers accessed grew after cancel: %d -> %d", layers, got)
+	}
+
+	// An un-cancelled SearchContext behaves exactly like Search.
+	a := ix.Search([]float64{0.3, 0.7}, 10)
+	b := ix.SearchContext(context.Background(), []float64{0.3, 0.7}, 10)
+	for {
+		ra, oka := a.Next()
+		rb, okb := b.Next()
+		if oka != okb {
+			t.Fatal("streams diverge in length")
+		}
+		if !oka {
+			break
+		}
+		if ra != rb {
+			t.Fatalf("streams diverge: %+v vs %+v", ra, rb)
+		}
+	}
+	if b.Err() != nil {
+		t.Fatalf("unexpected stream error: %v", b.Err())
+	}
+	// Dimension mismatch still yields an empty, error-free stream.
+	bad := ix.SearchContext(context.Background(), []float64{1}, 5)
+	if _, ok := bad.Next(); ok {
+		t.Fatal("mismatched-dimension stream produced a result")
+	}
+}
