@@ -57,14 +57,19 @@ func (ix *Index) InsertBatch(recs []Record) error {
 	// of them; locating first, before any mutation, keeps the search
 	// consistent.
 	group := make(map[int][]Record)
+	seen := make(map[uint64]bool, len(recs))
 	minK := -1
 	for _, r := range recs {
 		if len(r.Vector) != ix.dim {
 			return fmt.Errorf("core: insert dimension %d, want %d", len(r.Vector), ix.dim)
 		}
-		if _, dup := ix.posOf[r.ID]; dup {
+		// Check against the index AND the batch itself: two records
+		// sharing an ID within one batch would otherwise both alloc, and
+		// the posOf overwrite would leave an undeletable ghost.
+		if _, dup := ix.posOf[r.ID]; dup || seen[r.ID] {
 			return fmt.Errorf("%w: %d", ErrDuplicateID, r.ID)
 		}
+		seen[r.ID] = true
 		k, err := ix.locateLayer(r.Vector)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -330,7 +331,24 @@ func TestInsertBatch(t *testing.T) {
 	if err := ix.InsertBatch([]Record{{ID: 6000, Vector: []float64{0}}}); err == nil {
 		t.Error("batch with bad dimension accepted")
 	}
+	// A duplicate within the batch itself must be rejected before any
+	// alloc: accepting it would double-allocate the ID, surface it twice
+	// in rankings, and leave one copy as an undeletable ghost.
+	if err := ix.InsertBatch([]Record{
+		{ID: 7000, Vector: []float64{1, 1}},
+		{ID: 7000, Vector: []float64{2, 2}},
+	}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("intra-batch duplicate: err = %v, want ErrDuplicateID", err)
+	}
+	if _, ok := ix.posOf[7000]; ok {
+		t.Error("rejected intra-batch duplicate still allocated")
+	}
 	checkLayerInvariant(t, ix, 240)
+	for _, r := range ix.Records() {
+		if r.ID == 7000 {
+			t.Fatal("rejected record visible in Records")
+		}
+	}
 }
 
 func TestPositionReuseAfterDelete(t *testing.T) {

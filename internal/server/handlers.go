@@ -22,8 +22,9 @@ type TopNRequest struct {
 	N       int       `json:"n"`
 }
 
-// SearchRequest is the body of POST /v1/search. Limit <= 0 streams the
-// complete ranking.
+// SearchRequest is the body of POST /v1/search. Limit <= 0 asks for the
+// complete ranking; if the server is configured with a MaxResults cap,
+// the stream stops there instead and the trailer reports truncated.
 type SearchRequest struct {
 	Weights []float64 `json:"weights"`
 	Limit   int       `json:"limit"`
@@ -65,10 +66,13 @@ type TopNResponse struct {
 }
 
 // SearchTrailer is the final NDJSON line of a completed /v1/search
-// stream (result lines carry no "done" field).
+// stream (result lines carry no "done" field). Truncated is true when
+// the server's MaxResults cap cut the stream short of what the request
+// asked for, so a capped ranking is distinguishable from a complete one.
 type SearchTrailer struct {
-	Done  bool      `json:"done"`
-	Stats StatsJSON `json:"stats"`
+	Done      bool      `json:"done"`
+	Truncated bool      `json:"truncated,omitempty"`
+	Stats     StatsJSON `json:"stats"`
 }
 
 // MutateResponse is the body of a successful insert/delete.
@@ -170,7 +174,10 @@ func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sr.WithContext(ctx)
-	results := make([]ResultJSON, 0, n)
+	// Cap the preallocation by the snapshot size: n is client-controlled
+	// and, with no MaxResults clamp configured, a huge n must not force a
+	// huge (or panicking) allocation up front.
+	results := make([]ResultJSON, 0, min(n, snap.Len()))
 	for {
 		res, ok := sr.Next()
 		if !ok {
@@ -211,7 +218,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	snap := s.Snapshot()
-	sr := snap.NewSearcher(req.Weights, s.clampLimit(req.Limit))
+	limit := s.clampLimit(req.Limit)
+	sr := snap.NewSearcher(req.Weights, limit)
 	if sr == nil {
 		writeErr(w, http.StatusBadRequest, "weight dimension %d, index dimension %d", len(req.Weights), snap.Dim())
 		return
@@ -224,6 +232,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	emitted := 0
 	for {
 		res, ok := sr.Next()
 		if !ok {
@@ -232,6 +241,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if enc.Encode(ResultJSON{ID: res.ID, Score: res.Score, Layer: res.Layer}) != nil {
 			break // client went away; ctx cancel stops the searcher too
 		}
+		emitted++
 		// Flush per result: progressive retrieval's whole point is that
 		// rank M arrives without waiting for rank M+1 to be computed.
 		bw.Flush()
@@ -245,7 +255,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.metrics.searchCancelled.Add(1)
 		return // mid-stream; nothing useful to append
 	}
-	enc.Encode(SearchTrailer{Done: true, Stats: StatsJSON{RecordsEvaluated: st.RecordsEvaluated, LayersAccessed: st.LayersAccessed}})
+	// The stream was truncated if MaxResults rewrote the requested limit
+	// and the cap was actually what stopped the stream (more live records
+	// remained beyond the last emitted rank).
+	truncated := limit != req.Limit && emitted == limit && emitted < snap.Len()
+	enc.Encode(SearchTrailer{Done: true, Truncated: truncated, Stats: StatsJSON{RecordsEvaluated: st.RecordsEvaluated, LayersAccessed: st.LayersAccessed}})
 	bw.Flush()
 }
 

@@ -190,23 +190,35 @@ func (s *Server) mutator() {
 }
 
 // apply runs one batch: clone once, apply each operation in arrival
-// order (each op is individually atomic — InsertBatch/DeleteBatch
-// validate before mutating), swap once, then release the callers.
-// Replies are sent only after the swap so a caller that saw success can
-// immediately read its own write.
+// order, swap once, then release the callers. Replies are sent only
+// after the swap so a caller that saw success can immediately read its
+// own write.
+//
+// Each op must be individually atomic in the published snapshot, but
+// InsertBatch/DeleteBatch do not guarantee that on the index itself:
+// their cascades can fail after allocations and layer truncation,
+// leaving the clone partially mutated. When an op errors, the clone is
+// therefore discarded and rebuilt from the published base by replaying
+// the ops that already succeeded — replay on identical state is
+// deterministic (hull joggling is seeded), so they succeed again. The
+// happy path still pays exactly one clone.
 func (s *Server) apply(batch []op) {
 	start := time.Now()
-	next := s.snap.Load().Clone()
+	base := s.snap.Load()
+	next := base.Clone()
 	errs := make([]error, len(batch))
 	applied := 0
-	for i, o := range batch {
-		var err error
+	applyOp := func(ix *core.Index, o op) error {
 		switch {
 		case len(o.insert) > 0:
-			err = next.InsertBatch(o.insert)
+			return ix.InsertBatch(o.insert)
 		case len(o.del) > 0:
-			err = next.DeleteBatch(o.del)
+			return ix.DeleteBatch(o.del)
 		}
+		return nil
+	}
+	for i, o := range batch {
+		err := applyOp(next, o)
 		errs[i] = err
 		if err == nil && (len(o.insert) > 0 || len(o.del) > 0) {
 			applied++
@@ -214,6 +226,12 @@ func (s *Server) apply(batch []op) {
 		s.metrics.mutationOps.Add(1)
 		if err != nil {
 			s.metrics.mutationErrors.Add(1)
+			next = base.Clone()
+			for j := 0; j < i; j++ {
+				if errs[j] == nil {
+					applyOp(next, batch[j])
+				}
+			}
 		}
 	}
 	if applied > 0 {

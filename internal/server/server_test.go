@@ -400,3 +400,152 @@ func BenchmarkTopNHandler(b *testing.B) {
 		}
 	}
 }
+
+// readSearchStream decodes an NDJSON /v1/search response into its
+// result lines and trailer.
+func readSearchStream(t *testing.T, resp *http.Response) ([]ResultJSON, *SearchTrailer) {
+	t.Helper()
+	sc := bufio.NewScanner(resp.Body)
+	var results []ResultJSON
+	var trailer *SearchTrailer
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"done"`)) {
+			trailer = &SearchTrailer{}
+			if err := json.Unmarshal(line, trailer); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var r ResultJSON
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	return results, trailer
+}
+
+// TestApplyPartialBatchFailure: when one op in a coalesced batch fails,
+// the published snapshot must reflect exactly the successful ops —
+// never a torn clone — and every caller must get its own verdict.
+func TestApplyPartialBatchFailure(t *testing.T) {
+	s := New(buildIndex(t, 100, 2, 7), Config{})
+	defer s.Close(context.Background())
+
+	okIns := op{insert: []core.Record{{ID: 9001, Vector: []float64{50, 50}}}, reply: make(chan error, 1)}
+	// Fails validation via the intra-batch duplicate check; any error
+	// forces the discard-and-replay path in apply().
+	badIns := op{insert: []core.Record{
+		{ID: 9002, Vector: []float64{1, 1}},
+		{ID: 9002, Vector: []float64{2, 2}},
+	}, reply: make(chan error, 1)}
+	okDel := op{del: []uint64{1}, reply: make(chan error, 1)}
+	badDel := op{del: []uint64{424242}, reply: make(chan error, 1)}
+
+	s.apply([]op{okIns, badIns, okDel, badDel})
+
+	if err := <-okIns.reply; err != nil {
+		t.Fatalf("good insert failed: %v", err)
+	}
+	if err := <-badIns.reply; err == nil {
+		t.Fatal("intra-batch duplicate insert succeeded")
+	}
+	if err := <-okDel.reply; err != nil {
+		t.Fatalf("good delete failed: %v", err)
+	}
+	if err := <-badDel.reply; err == nil {
+		t.Fatal("unknown-ID delete succeeded")
+	}
+
+	snap := s.Snapshot()
+	if snap.Len() != 100 { // 100 seed + 1 insert - 1 delete
+		t.Fatalf("Len = %d, want 100", snap.Len())
+	}
+	count := map[uint64]int{}
+	for _, r := range snap.Records() {
+		count[r.ID]++
+	}
+	if count[9001] != 1 {
+		t.Errorf("inserted ID 9001 appears %d times, want 1", count[9001])
+	}
+	if count[9002] != 0 {
+		t.Errorf("rejected ID 9002 appears %d times, want 0", count[9002])
+	}
+	if count[1] != 0 {
+		t.Errorf("deleted ID 1 appears %d times, want 0", count[1])
+	}
+	for id, c := range count {
+		if c != 1 {
+			t.Errorf("ID %d appears %d times", id, c)
+		}
+	}
+	// The surviving snapshot must still answer queries correctly.
+	res, _, err := snap.TopN([]float64{1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 9001 {
+		t.Fatalf("top-1 = %+v, want the dominating inserted record 9001", res)
+	}
+}
+
+// TestTopNHugeN: with no MaxResults clamp configured (the documented
+// zero value), a client-supplied huge n must not drive a huge upfront
+// allocation or a makeslice panic.
+func TestTopNHugeN(t *testing.T) {
+	_, ts := newTestServer(t, 50, 2, Config{})
+	resp := postJSON(t, ts.URL+"/v1/topn", TopNRequest{Weights: []float64{1, 1}, N: 1 << 40})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got TopNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 50 {
+		t.Fatalf("got %d results, want all 50", len(got.Results))
+	}
+}
+
+// TestSearchTruncatedTrailer: a stream cut short by the server's
+// MaxResults cap must say so in the trailer, so clients can tell a
+// complete ranking from a capped one.
+func TestSearchTruncatedTrailer(t *testing.T) {
+	_, ts := newTestServer(t, 30, 2, Config{MaxResults: 10})
+
+	// limit 0 asks for the complete ranking; the cap rewrites it.
+	resp := postJSON(t, ts.URL+"/v1/search", SearchRequest{Weights: []float64{1, 1}, Limit: 0})
+	results, trailer := readSearchStream(t, resp)
+	resp.Body.Close()
+	if len(results) != 10 {
+		t.Fatalf("got %d results, want capped 10", len(results))
+	}
+	if trailer == nil || !trailer.Done || !trailer.Truncated {
+		t.Fatalf("trailer = %+v, want done and truncated", trailer)
+	}
+
+	// An explicit limit within the cap is the client's own choice.
+	resp = postJSON(t, ts.URL+"/v1/search", SearchRequest{Weights: []float64{1, 1}, Limit: 5})
+	results, trailer = readSearchStream(t, resp)
+	resp.Body.Close()
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5", len(results))
+	}
+	if trailer == nil || !trailer.Done || trailer.Truncated {
+		t.Fatalf("trailer = %+v, want done and not truncated", trailer)
+	}
+
+	// A cap larger than the index never truncates.
+	_, big := newTestServer(t, 30, 2, Config{MaxResults: 100})
+	resp = postJSON(t, big.URL+"/v1/search", SearchRequest{Weights: []float64{1, 1}, Limit: 0})
+	results, trailer = readSearchStream(t, resp)
+	resp.Body.Close()
+	if len(results) != 30 {
+		t.Fatalf("got %d results, want all 30", len(results))
+	}
+	if trailer == nil || !trailer.Done || trailer.Truncated {
+		t.Fatalf("trailer = %+v, want done and not truncated", trailer)
+	}
+}
