@@ -43,6 +43,11 @@ var (
 	outFlag     = flag.String("out", "", "directory for TSV copies of every series (optional)")
 	progFlag    = flag.Bool("progress", true, "print build progress")
 	plotFlag    = flag.Bool("plot", false, "render ASCII plots for the figure experiments")
+	parFlag     = flag.Int("parallelism", 0, "worker bound for hull construction and query scoring (0 = one per CPU, 1 = sequential)")
+
+	buildScalingFlag = flag.Bool("build-scaling", false, "sweep build worker counts on a Gaussian 4D corpus instead of running experiments; emits -build-out JSON")
+	buildWorkersFlag = flag.String("build-workers", "1,2,4,8", "build-scaling: comma-separated worker counts to sweep")
+	buildOutFlag     = flag.String("build-out", "BENCH_build.json", "build-scaling: summary JSON output path")
 
 	serveLoadFlag = flag.String("serve-load", "", "load-test a query server instead of running experiments: a base URL like http://host:8080, or 'self' to serve a synthetic corpus in-process")
 	serveConcFlag = flag.Int("serve-conc", 16, "serve-load: concurrent clients")
@@ -71,6 +76,19 @@ func main() {
 		if queries > 200 {
 			queries = 200
 		}
+	}
+	if *buildScalingFlag {
+		// The build-scaling workload is the paper-scale-adjacent 100k×4d
+		// corpus unless -n was given explicitly (the 1M default of the
+		// experiment suite would take hours × worker counts).
+		bn := 100_000
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				bn = n
+			}
+		})
+		buildScaling(bn, *buildWorkersFlag, *buildOutFlag)
+		return
 	}
 	if *serveLoadFlag != "" {
 		serveLoad(*serveLoadFlag, n, *serveConcFlag, *serveDurFlag, *serveTopNFlag, *serveOutFlag)
@@ -172,7 +190,7 @@ func buildTestSets(n int) []*testSet {
 					}
 				}
 			}
-			ix, err := core.Build(recs, core.Options{Seed: *seedFlag, Progress: progress})
+			ix, err := core.Build(recs, core.Options{Seed: *seedFlag, Progress: progress, Parallelism: *parFlag})
 			if err != nil {
 				errs[i] = fmt.Errorf("build %s: %w", name, err)
 				return

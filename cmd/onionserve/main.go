@@ -52,6 +52,7 @@ var (
 	resultsFlag  = flag.Int("max-results", 100_000, "cap on topn n / search limit (0 = unlimited)")
 	batchFlag    = flag.Int("max-batch", 32, "max mutations coalesced per snapshot rebuild")
 	saveFlag     = flag.String("save-on-exit", "", "persist the final snapshot to this path on shutdown")
+	parFlag      = flag.Int("parallelism", 0, "worker bound for hull maintenance and large-layer query scoring (0 = one per CPU, 1 = sequential)")
 )
 
 func main() {
@@ -63,6 +64,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Loaded indexes do not persist construction options; apply the
+	// parallelism knob here so maintenance cascades and large-layer
+	// scoring use the configured worker bound (clones inherit it).
+	ix.SetParallelism(*parFlag)
 	log.Printf("index ready: %d records, %d attributes, %d layers", ix.Len(), ix.Dim(), ix.NumLayers())
 
 	srv := server.New(ix, server.Config{
@@ -136,7 +141,7 @@ func loadIndex() (*core.Index, error) {
 		for i, p := range pts {
 			recs[i] = core.Record{ID: uint64(i + 1), Vector: p}
 		}
-		ix, err := core.Build(recs, core.Options{Seed: *seedFlag})
+		ix, err := core.Build(recs, core.Options{Seed: *seedFlag, Parallelism: *parFlag})
 		if err != nil {
 			return nil, err
 		}

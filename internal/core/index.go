@@ -47,6 +47,14 @@ type Options struct {
 	// the 1-based layer number and the cumulative number of records
 	// assigned. Useful for multi-minute million-record builds.
 	Progress func(layer, assigned, total int)
+	// Parallelism bounds the worker goroutines used by the hull scans
+	// of construction and maintenance and by query scoring over large
+	// layers. 0 selects one worker per CPU; 1 forces fully sequential
+	// execution. The index built — layer membership, layer order,
+	// joggle decisions — is identical for every setting, so seeded
+	// replays (e.g. the serving layer's clone-and-reapply) stay valid
+	// whatever the hardware. See SetParallelism to adjust it later.
+	Parallelism int
 }
 
 // Index is an immutable-by-default Onion index. Maintenance methods
@@ -62,6 +70,7 @@ type Index struct {
 	free    []int // freed positions available for reuse
 	tol     float64
 	seed    int64
+	workers int // parallelism bound (0 = one per CPU, 1 = sequential)
 	joggled bool
 	sorted  *sortedColumns // optional single-attribute fast path
 }
@@ -84,6 +93,7 @@ func Build(records []Record, opt Options) (*Index, error) {
 		posOf:   make(map[uint64]int, len(records)),
 		tol:     opt.Tol,
 		seed:    opt.Seed,
+		workers: opt.Parallelism,
 	}
 	for i, r := range records {
 		if len(r.Vector) != dim {
@@ -118,7 +128,7 @@ func Build(records []Record, opt Options) (*Index, error) {
 			}
 			break
 		}
-		h, err := hull.Compute(ix.pts, remaining, hull.Options{Tol: opt.Tol, Seed: opt.Seed})
+		h, err := computeHull(ix.pts, remaining, hull.Options{Tol: opt.Tol, Seed: opt.Seed, Workers: ix.workers})
 		if err != nil {
 			return nil, fmt.Errorf("core: layer %d: %w", len(ix.layers)+1, err)
 		}
@@ -151,6 +161,18 @@ func (ix *Index) appendLayer(positions []int) {
 		ix.layerOf[p] = k
 	}
 }
+
+// SetParallelism adjusts the worker bound used by subsequent
+// maintenance hulls and large-layer query scoring: 0 means one worker
+// per CPU, 1 fully sequential, n exactly n goroutines. Results are
+// identical at every setting. Useful for indexes that were loaded from
+// disk (construction options are not persisted) and for capping the
+// CPU share of a co-tenant process. Not safe to call concurrently with
+// running queries or maintenance.
+func (ix *Index) SetParallelism(n int) { ix.workers = n }
+
+// Parallelism returns the configured worker bound (0 = one per CPU).
+func (ix *Index) Parallelism() int { return ix.workers }
 
 // Dim returns the number of numerical attributes.
 func (ix *Index) Dim() int { return ix.dim }

@@ -19,6 +19,17 @@ import (
 // (each step is a hull construction); batch maintenance is advisable in
 // practice and is provided by InsertBatch.
 
+// computeHull is the hull constructor used by construction and every
+// maintenance cascade. A package variable so tests can inject hull
+// failures and exercise the rollback paths; production code never
+// reassigns it.
+var computeHull = hull.Compute
+
+// hullOpts are the hull options every core computation shares.
+func (ix *Index) hullOpts() hull.Options {
+	return hull.Options{Tol: ix.tol, Seed: ix.seed, Workers: ix.workers}
+}
+
 // ErrDuplicateID is returned by Insert when the ID already exists.
 var ErrDuplicateID = errors.New("core: duplicate record ID")
 
@@ -195,7 +206,7 @@ func (ix *Index) DeleteBatch(ids []uint64) error {
 			carry = nil
 			continue
 		}
-		h, err := hull.Compute(ix.pts, pool, hull.Options{Tol: ix.tol, Seed: ix.seed})
+		h, err := computeHull(ix.pts, pool, ix.hullOpts())
 		if err != nil {
 			return fmt.Errorf("core: batch delete hull: %w", err)
 		}
@@ -226,7 +237,14 @@ func (ix *Index) DeleteBatch(ids []uint64) error {
 }
 
 // Update replaces the vector of an existing record (delete + insert, as
-// the paper prescribes).
+// the paper prescribes). Update is atomic: either the record ends up
+// with the new vector and a consistent layering, or — when a hull
+// cascade of the delete or reinsert fails — the index is restored to
+// its exact pre-update state and the error returned. Without the
+// restore a failed reinsert would silently lose the record (and a
+// cascade failure leaves the layer list truncated mid-repair), so the
+// rollback works from a snapshot taken up front rather than trying to
+// re-insert into a possibly-torn index.
 func (ix *Index) Update(id uint64, vector []float64) error {
 	if len(vector) != ix.dim {
 		return fmt.Errorf("core: update dimension %d, want %d", len(vector), ix.dim)
@@ -234,10 +252,18 @@ func (ix *Index) Update(id uint64, vector []float64) error {
 	if _, ok := ix.posOf[id]; !ok {
 		return fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	if err := ix.Delete(id); err != nil {
+	// Clone is O(n) positions (attribute vectors are shared), which the
+	// two hull cascades below dominate.
+	backup := ix.Clone()
+	err := ix.Delete(id)
+	if err == nil {
+		err = ix.Insert(Record{ID: id, Vector: vector})
+	}
+	if err != nil {
+		*ix = *backup
 		return err
 	}
-	return ix.Insert(Record{ID: id, Vector: vector})
+	return nil
 }
 
 // alloc stores a record and returns its position. Any mutation
@@ -298,7 +324,7 @@ func (ix *Index) locateLayer(v []float64) (int, error) {
 // construction the hull vertices of everything at-or-below the layer, so
 // the hull of the layer alone has the same boundary.
 func (ix *Index) layerHull(k int) (*hull.Hull, error) {
-	h, err := hull.Compute(ix.pts, ix.layers[k], hull.Options{Tol: ix.tol, Seed: ix.seed})
+	h, err := computeHull(ix.pts, ix.layers[k], ix.hullOpts())
 	if err != nil {
 		return nil, fmt.Errorf("core: hull of layer %d: %w", k, err)
 	}
@@ -336,7 +362,7 @@ func (ix *Index) resolve(carry []int, rest [][]int) error {
 			pool = append(pool, rest[0]...)
 			rest = rest[1:]
 		}
-		h, err := hull.Compute(ix.pts, pool, hull.Options{Tol: ix.tol, Seed: ix.seed})
+		h, err := computeHull(ix.pts, pool, ix.hullOpts())
 		if err != nil {
 			return fmt.Errorf("core: maintenance hull: %w", err)
 		}

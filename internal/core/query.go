@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/topk"
 )
 
@@ -28,10 +30,45 @@ type Stats struct {
 
 var errDim = errors.New("core: weight vector dimension mismatch")
 
+// scoreParallelMin is the smallest layer for which a Searcher scores
+// records on the worker pool; smaller layers stay on the inline loop
+// (the fork/join overhead would exceed the dot products saved). A var
+// so tests can lower it and drive the parallel path on small indexes.
+var scoreParallelMin = 4096
+
+// ErrNonFiniteWeight is returned by queries whose weight vector carries
+// a NaN or ±Inf component. Such weights would otherwise flow straight
+// through the arithmetic: NaN poisons every score (and defeats the
+// heap ordering, yielding garbage ranks), and the single-axis test
+// counts NaN as a live axis, so the sorted-column fast path would
+// happily emit NaN-scored results. Rejecting at the query boundary
+// keeps every downstream comparison meaningful.
+var ErrNonFiniteWeight = errors.New("core: non-finite weight")
+
+// ValidateWeights checks a query weight vector against an index
+// dimension: the length must equal dim and every component must be
+// finite. The returned error wraps ErrNonFiniteWeight for NaN/Inf
+// components, making the two failure classes distinguishable to
+// callers (e.g. for HTTP status mapping).
+func ValidateWeights(weights []float64, dim int) error {
+	if len(weights) != dim {
+		return fmt.Errorf("%w: got %d, want %d", errDim, len(weights), dim)
+	}
+	for j, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("%w: weights[%d] = %v", ErrNonFiniteWeight, j, w)
+		}
+	}
+	return nil
+}
+
 // TopN returns the n records maximizing the weighted sum weights·x, in
 // descending score order, together with evaluation statistics. Fewer
 // than n results are returned only when the index holds fewer than n
-// records. To minimize instead, negate the weights (paper Section 2).
+// records; n <= 0 returns no results (use NewSearcher's unbounded mode
+// for the complete ranking). To minimize instead, negate the weights
+// (paper Section 2). Weights must be finite: NaN or ±Inf components
+// are rejected with an error wrapping ErrNonFiniteWeight.
 //
 // This is the query-evaluation procedure of paper Section 3.2: layers
 // are retrieved outermost first; each layer contributes its best
@@ -39,20 +76,28 @@ var errDim = errors.New("core: weight vector dimension mismatch")
 // beats the maximum of the current layer, which no deeper layer can
 // exceed (Corollary 1).
 func (ix *Index) TopN(weights []float64, n int) ([]Result, Stats, error) {
-	// Validate the dimension before consulting any fast path so that a
-	// mismatched weight vector fails identically whether or not sorted
-	// columns are enabled.
-	if len(weights) != ix.dim {
-		return nil, Stats{}, fmt.Errorf("%w: got %d, want %d", errDim, len(weights), ix.dim)
+	// Validate before consulting any fast path so that a bad weight
+	// vector fails identically whether or not sorted columns are enabled.
+	if err := ValidateWeights(weights, ix.dim); err != nil {
+		return nil, Stats{}, err
 	}
-	if ix.sorted != nil && n > 0 {
+	if n <= 0 {
+		// The documented contract is "the n best records"; at n <= 0 that
+		// is none. (NewSearcher deliberately maps limit <= 0 to an
+		// unbounded stream — a sensible default for progressive retrieval
+		// but an OOM-shaped surprise for a bounded one-shot query.)
+		return nil, Stats{}, nil
+	}
+	if ix.sorted != nil {
 		if axis, ok := singleAxis(weights); ok {
 			res, st := ix.topNSorted(weights, axis, n)
 			return res, st, nil
 		}
 	}
 	s := ix.NewSearcher(weights, n)
-	out := make([]Result, 0, n)
+	// n is caller-controlled; clamp the preallocation by the number of
+	// live records so a huge n cannot force a huge allocation up front.
+	out := make([]Result, 0, min(n, ix.Len()))
 	for {
 		r, ok := s.Next()
 		if !ok {
@@ -73,10 +118,11 @@ type Searcher struct {
 	remain  int  // results still to deliver; <0 means unbounded
 	k       int  // next layer to evaluate
 	started bool // layer 0 processed
-	cand    topk.MaxHeap
-	emit    []Result // pending results in descending order
-	emitPos int
-	stats   Stats
+	cand     topk.MaxHeap
+	emit     []Result // pending results in descending order
+	emitPos  int
+	scoreBuf []float64 // scratch for parallel layer scoring, reused per layer
+	stats    Stats
 	trace   func(TraceEvent) // optional step-by-step narration
 	ctx     context.Context  // optional cancellation; nil = never cancelled
 	err     error            // ctx error once observed
@@ -110,10 +156,13 @@ func (s *Searcher) cancelled() bool {
 }
 
 // NewSearcher prepares a progressive query. limit bounds the number of
-// results; limit <= 0 streams the complete ranking. It returns nil when
-// the weight dimension does not match the index.
+// results; limit <= 0 deliberately streams the complete ranking (the
+// progressive contract: consume a prefix, abandon the rest — an
+// unbounded stream costs only what is read). It returns nil when the
+// weight vector is invalid: wrong dimension, or any NaN/±Inf component
+// (see ValidateWeights for a diagnosable error).
 func (ix *Index) NewSearcher(weights []float64, limit int) *Searcher {
-	if len(weights) != ix.dim {
+	if ValidateWeights(weights, ix.dim) != nil {
 		return nil
 	}
 	w := make([]float64, len(weights))
@@ -186,13 +235,38 @@ func (s *Searcher) advance() bool {
 		cap = s.remain
 	}
 	best := topk.NewBounded(cap)
-	for _, p := range layer {
-		v := ix.pts[p]
-		var score float64
-		for j, wj := range s.weights {
-			score += wj * v[j]
+	if workers := parallel.Workers(ix.workers); workers > 1 && len(layer) >= scoreParallelMin {
+		// Large layer: score on the worker pool. Each worker fills its
+		// own slice range; the heap then consumes the scores in layer
+		// order, exactly as the sequential loop would, so the selected
+		// top-k (ties included) is identical at any parallelism.
+		if len(s.scoreBuf) < len(layer) {
+			s.scoreBuf = make([]float64, len(layer))
 		}
-		best.Offer(topk.Item{ID: p, Score: score})
+		scores := s.scoreBuf[:len(layer)]
+		weights := s.weights
+		parallel.For(len(layer), workers, scoreParallelMin, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := ix.pts[layer[i]]
+				var score float64
+				for j, wj := range weights {
+					score += wj * v[j]
+				}
+				scores[i] = score
+			}
+		})
+		for i, p := range layer {
+			best.Offer(topk.Item{ID: p, Score: scores[i]})
+		}
+	} else {
+		for _, p := range layer {
+			v := ix.pts[p]
+			var score float64
+			for j, wj := range s.weights {
+				score += wj * v[j]
+			}
+			best.Offer(topk.Item{ID: p, Score: score})
+		}
 	}
 	t := best.Descending()
 	maxT := t[0].Score

@@ -25,6 +25,7 @@ func (ix *Index) Clone() *Index {
 		free:    append([]int(nil), ix.free...),
 		tol:     ix.tol,
 		seed:    ix.seed,
+		workers: ix.workers,
 		joggled: ix.joggled,
 	}
 	for k, l := range ix.layers {

@@ -1,0 +1,74 @@
+package hull
+
+import "repro/internal/parallel"
+
+// parallelMinPoints is the smallest scan for which forking goroutines
+// beats running inline: below it the chunk setup costs more than the
+// distance arithmetic it would spread. A var so tests can lower it and
+// force the parallel path onto small, exhaustively checkable inputs.
+var parallelMinPoints = 2048
+
+// classifier runs the two scan phases that dominate quickhull — "for
+// each point, find the first facet that sees it" — across a bounded
+// worker pool while keeping the result order-deterministic.
+//
+// The sequential algorithm assigns points to outside sets by iterating
+// points in input order and facets in list order, with the furthest
+// point of each facet decided by strict > on distance (first maximum
+// wins). To preserve those exact outcomes at any parallelism, the scan
+// is split in two: a parallel phase where each worker writes the
+// (facet, distance) verdict of point i into slot i of the scratch
+// arrays — disjoint writes, no ordering — and a sequential merge that
+// replays addOutside in input order. The merge performs no floating
+// point beyond comparisons already fixed by the verdicts, so the facet
+// outside lists, furthest choices, and therefore every subsequent apex
+// selection and joggle decision are byte-identical to the sequential
+// run. Buffers are reused across calls; they grow to the largest scan
+// of the peel and are freed with the classifier.
+type classifier struct {
+	workers int
+	assign  []int32 // slot i: index into the facet list, or -1 (inside all)
+	dists   []float64
+	pts     []int // gather buffer for redistribution scans
+}
+
+// grow sizes the scratch arrays for a scan over n points.
+func (c *classifier) grow(n int) {
+	if cap(c.assign) < n {
+		c.assign = make([]int32, n)
+		c.dists = make([]float64, n)
+	}
+	c.assign = c.assign[:n]
+	c.dists = c.dists[:n]
+}
+
+// classify fills assign/dists for pts against facets: slot i gets the
+// position of the first facet in list order with dist(pts[i]) > tol,
+// or -1 when no facet sees the point (it is interior and drops out).
+func (c *classifier) classify(work [][]float64, pts []int, facets []*facet, tol float64) {
+	c.grow(len(pts))
+	assign, dists := c.assign, c.dists
+	parallel.For(len(pts), c.workers, parallelMinPoints, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := work[pts[i]]
+			assign[i] = -1
+			for fi, f := range facets {
+				if dd := f.dist(p); dd > tol {
+					assign[i] = int32(fi)
+					dists[i] = dd
+					break
+				}
+			}
+		}
+	})
+}
+
+// merge replays the classification verdicts sequentially in input
+// order, reproducing the sequential algorithm's outside lists exactly.
+func (c *classifier) merge(pts []int, facets []*facet) {
+	for i, ix := range pts {
+		if a := c.assign[i]; a >= 0 {
+			facets[a].addOutside(ix, c.dists[i])
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/parallel"
 )
 
 // Options configures hull computation.
@@ -47,6 +48,14 @@ type Options struct {
 	MaxJoggle int
 	// Seed makes the joggle perturbations reproducible.
 	Seed int64
+	// Workers bounds the goroutines used by quickhull's data-parallel
+	// scan phases (the initial outside-set partition and the per-cone
+	// point redistribution). 0 selects one worker per CPU; 1 forces
+	// fully sequential execution. The computed hull is identical for
+	// every setting — scans classify points into per-point slots and
+	// merge in input order, so vertex sets, facet structure, and joggle
+	// decisions never depend on the worker count.
+	Workers int
 }
 
 // DefaultMaxJoggle is the default number of joggle retries.
@@ -123,8 +132,9 @@ func Compute(pts [][]float64, idxs []int, opt Options) (*Hull, error) {
 	if maxJoggle == 0 {
 		maxJoggle = DefaultMaxJoggle
 	}
+	workers := parallel.Workers(opt.Workers)
 
-	h, err := compute(pts, idxs, d, tol)
+	h, err := compute(pts, idxs, d, tol, workers)
 	if err == nil {
 		return h, nil
 	}
@@ -134,7 +144,7 @@ func Compute(pts [][]float64, idxs []int, opt Options) (*Hull, error) {
 	// Joggle fallback: retry on perturbed copies with growing amplitude.
 	for attempt := 1; attempt <= maxJoggle; attempt++ {
 		jpts, amp := joggle(pts, idxs, tol, opt.Seed, attempt)
-		jh, jerr := compute(jpts, idxs, d, tol+amp)
+		jh, jerr := compute(jpts, idxs, d, tol+amp, workers)
 		if jerr == nil {
 			jh.joggled = true
 			return jh, nil
@@ -147,7 +157,7 @@ func Compute(pts [][]float64, idxs []int, opt Options) (*Hull, error) {
 }
 
 // compute dispatches on the affine rank of the selected points.
-func compute(pts [][]float64, idxs []int, d int, tol float64) (*Hull, error) {
+func compute(pts [][]float64, idxs []int, d int, tol float64, workers int) (*Hull, error) {
 	basis, seed := fastSpan(pts, idxs, d, tol)
 	rank := basis.Rank()
 	h := &Hull{Dim: d, Rank: rank, tol: tol}
@@ -159,7 +169,7 @@ func compute(pts [][]float64, idxs []int, d int, tol float64) (*Hull, error) {
 		return h, nil
 	case rank == d:
 		// Full rank: run in ambient coordinates.
-		return computeFullRank(h, pts, idxs, nil, d, tol, seed)
+		return computeFullRank(h, pts, idxs, nil, d, tol, seed, workers)
 	default:
 		// Degenerate: project onto the affine span and peel there.
 		proj := make([][]float64, len(idxs))
@@ -180,7 +190,7 @@ func compute(pts [][]float64, idxs []int, d int, tol float64) (*Hull, error) {
 			pseed[i] = pos[s]
 		}
 		h.basis = &basis
-		if _, err := computeFullRank(h, proj, sub, idxs, rank, tol, pseed); err != nil {
+		if _, err := computeFullRank(h, proj, sub, idxs, rank, tol, pseed, workers); err != nil {
 			return nil, err
 		}
 		return h, nil
@@ -192,7 +202,7 @@ func compute(pts [][]float64, idxs []int, d int, tol float64) (*Hull, error) {
 // and remap (optional) translates work-space indices back to original
 // indices for the Vertices slice. seed lists rank+1 affinely independent
 // work-space indices usable as the initial simplex.
-func computeFullRank(h *Hull, work [][]float64, sel, remap []int, rank int, tol float64, seed []int) (*Hull, error) {
+func computeFullRank(h *Hull, work [][]float64, sel, remap []int, rank int, tol float64, seed []int, workers int) (*Hull, error) {
 	var verts []int
 	var planes []geom.Hyperplane
 	var facetVerts [][]int
@@ -204,7 +214,7 @@ func computeFullRank(h *Hull, work [][]float64, sel, remap []int, rank int, tol 
 	case 2:
 		verts, planes, facetVerts, center = hull2D(work, sel, tol)
 	default:
-		verts, planes, facetVerts, center, err = quickhull(work, sel, rank, tol, seed)
+		verts, planes, facetVerts, center, err = quickhull(work, sel, rank, tol, seed, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,146 @@
+package hull
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randPts generates n uniform points in dimension d.
+func randPts(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()*2 - 1
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// requireSameHull asserts two hulls are structurally identical: same
+// vertex set, same facet tuples in the same order, same rank and
+// joggle outcome. This is the byte-identity the parallel build
+// guarantees, not just value-equivalence.
+func requireSameHull(t *testing.T, ref, got *Hull, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.Vertices, got.Vertices) {
+		t.Fatalf("%s: vertices differ\nref: %v\ngot: %v", label, ref.Vertices, got.Vertices)
+	}
+	if !reflect.DeepEqual(ref.FacetVertices(), got.FacetVertices()) {
+		t.Fatalf("%s: facet tuples differ", label)
+	}
+	if ref.Rank != got.Rank || ref.Joggled() != got.Joggled() {
+		t.Fatalf("%s: rank/joggle differ: (%d,%v) vs (%d,%v)",
+			label, ref.Rank, ref.Joggled(), got.Rank, got.Joggled())
+	}
+}
+
+// TestParallelDeterminism builds the same hulls at several worker
+// counts and requires structurally identical results. The corpus is
+// large enough that the partition scan crosses parallelMinPoints, so
+// the pooled path genuinely runs for workers > 1.
+func TestParallelDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		n, d int
+	}{
+		{6000, 3},
+		{6000, 4},
+		{3000, 5},
+	} {
+		pts := randPts(tc.n, tc.d, int64(100*tc.n+int(rune(tc.d))))
+		ref, err := Compute(pts, nil, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("n=%d d=%d sequential: %v", tc.n, tc.d, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, err := Compute(pts, nil, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("n=%d d=%d workers=%d: %v", tc.n, tc.d, workers, err)
+			}
+			requireSameHull(t, ref, got, "hull")
+		}
+	}
+}
+
+// TestParallelDeterminismSmallThreshold lowers the fork threshold so
+// even the late, small redistribution scans run on the pool, then
+// checks determinism on a corpus small enough to verify exhaustively.
+func TestParallelDeterminismSmallThreshold(t *testing.T) {
+	defer func(v int) { parallelMinPoints = v }(parallelMinPoints)
+	parallelMinPoints = 8
+
+	for seed := int64(1); seed <= 5; seed++ {
+		pts := randPts(500, 4, seed)
+		ref, err := Compute(pts, nil, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		for _, workers := range []int{2, 3, 7} {
+			got, err := Compute(pts, nil, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers=%d: %v", seed, workers, err)
+			}
+			requireSameHull(t, ref, got, "hull")
+		}
+	}
+}
+
+// TestParallelDeterminismDegenerate checks the projected (rank-
+// deficient) path: points on a 2-plane inside 4-space, which routes
+// through the basis projection before quickhull.
+func TestParallelDeterminismDegenerate(t *testing.T) {
+	defer func(v int) { parallelMinPoints = v }(parallelMinPoints)
+	parallelMinPoints = 8
+
+	rng := rand.New(rand.NewSource(42))
+	pts := make([][]float64, 800)
+	for i := range pts {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		// Affine 3-plane embedded in 4-space (rank 3 would need 3 params;
+		// use 2 for a rank-2 flat, exercising the 2D monotone chain too).
+		pts[i] = []float64{a, b, a + 2*b - 1, 0.5*a - b}
+	}
+	ref, err := Compute(pts, nil, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	if ref.Rank >= ref.Dim {
+		t.Fatalf("expected degenerate input, got rank %d", ref.Rank)
+	}
+	got, err := Compute(pts, nil, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("workers=4: %v", err)
+	}
+	requireSameHull(t, ref, got, "degenerate hull")
+}
+
+// TestParallelJoggleDeterminism forces the joggle fallback (many
+// duplicated/coplanar points at matching coordinates) and checks the
+// retry sequence lands on the same perturbation at every parallelism.
+func TestParallelJoggleDeterminism(t *testing.T) {
+	defer func(v int) { parallelMinPoints = v }(parallelMinPoints)
+	parallelMinPoints = 8
+
+	// A grid on the unit cube's surface plus exact duplicates: heavy
+	// coplanarity, the classic joggle trigger.
+	var pts [][]float64
+	for x := 0.0; x <= 1.0; x += 0.25 {
+		for y := 0.0; y <= 1.0; y += 0.25 {
+			for _, z := range []float64{0, 1} {
+				pts = append(pts, []float64{x, y, z}, []float64{x, y, z})
+			}
+		}
+	}
+	ref, err := Compute(pts, nil, Options{Workers: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	got, err := Compute(pts, nil, Options{Workers: 5, Seed: 7})
+	if err != nil {
+		t.Fatalf("workers=5: %v", err)
+	}
+	requireSameHull(t, ref, got, "joggle-path hull")
+}

@@ -78,7 +78,11 @@ func (fp *facetPool) put(f *facet) {
 // farthest-point selection, which tends to be well conditioned). It
 // returns the vertex indices, the facet hyperplanes, and an interior
 // point.
-func quickhull(work [][]float64, sel []int, d int, tol float64, seed []int) (verts []int, planes []geom.Hyperplane, facetVerts [][]int, center []float64, err error) {
+//
+// workers bounds the goroutines used by the point-classification scans
+// (the initial partition and each cone step's redistribution); the
+// result is identical for every value — see classifier.
+func quickhull(work [][]float64, sel []int, d int, tol float64, seed []int, workers int) (verts []int, planes []geom.Hyperplane, facetVerts [][]int, center []float64, err error) {
 	if len(seed) != d+1 {
 		return nil, nil, nil, nil, fmt.Errorf("%w: initial simplex has %d points, need %d", ErrNumeric, len(seed), d+1)
 	}
@@ -138,23 +142,24 @@ func quickhull(work [][]float64, sel []int, d int, tol float64, seed []int) (ver
 	}
 
 	// Partition all points into outside sets; interior points drop out
-	// here, which is what makes repeated Onion peeling affordable.
+	// here, which is what makes repeated Onion peeling affordable. The
+	// classification — the single heaviest scan of the whole build — runs
+	// on the worker pool; the merge replays its verdicts in input order
+	// so the partition is independent of the worker count.
 	inSeed := make(map[int]bool, d+1)
 	for _, s := range seed {
 		inSeed[s] = true
 	}
+	cls := &classifier{workers: workers}
+	scan := cls.pts[:0]
 	for _, ix := range sel {
-		if inSeed[ix] {
-			continue
-		}
-		p := work[ix]
-		for _, f := range simplex {
-			if dd := f.dist(p); dd > tol {
-				f.addOutside(ix, dd)
-				break
-			}
+		if !inSeed[ix] {
+			scan = append(scan, ix)
 		}
 	}
+	cls.pts = scan
+	cls.classify(work, scan, simplex, tol)
+	cls.merge(scan, simplex)
 
 	// anyLive tracks one facet guaranteed to be on the hull, from which
 	// the final facet graph is collected by flood fill.
@@ -269,20 +274,21 @@ func quickhull(work [][]float64, sel []int, d int, tol float64, seed []int) (ver
 		}
 
 		// Redistribute the outside points of the retired facets, then
-		// recycle them.
+		// recycle them. Points are gathered in visible-facet order (the
+		// order the sequential loop walked them) so the parallel classify
+		// plus ordered merge reproduces its outside lists exactly.
+		scan = cls.pts[:0]
 		for _, g := range visible {
 			for _, ix := range g.outside {
-				if ix == apex {
-					continue
-				}
-				q := work[ix]
-				for _, nf := range newFacets {
-					if dd := nf.dist(q); dd > tol {
-						nf.addOutside(ix, dd)
-						break
-					}
+				if ix != apex {
+					scan = append(scan, ix)
 				}
 			}
+		}
+		cls.pts = scan
+		cls.classify(work, scan, newFacets, tol)
+		cls.merge(scan, newFacets)
+		for _, g := range visible {
 			g.visit = retiredStamp
 			pool.put(g)
 		}

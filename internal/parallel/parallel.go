@@ -1,0 +1,67 @@
+// Package parallel provides the bounded fork-join primitive shared by
+// the hull builder and the query scorer. It is deliberately tiny: the
+// whole parallelization strategy of this repository is "data-parallel
+// scans over disjoint index ranges, merged in input order", which needs
+// nothing beyond a chunked parallel for-loop.
+//
+// Determinism contract: For runs fn over a partition of [0, n) into
+// contiguous chunks. Callers must write only to per-index slots (or
+// otherwise disjoint state), never to shared accumulators; the merge —
+// whatever order-sensitive folding the caller performs afterwards —
+// happens sequentially over the per-index results in input order.
+// Under that discipline the outcome is bit-identical for every worker
+// count, which is what lets a seeded, joggle-deterministic hull build
+// replay identically whether it ran on one core or sixty-four.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism knob to a concrete worker count:
+// n >= 1 means exactly n workers, anything else (0 or negative, the
+// knob's "automatic" setting) means one worker per available CPU.
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For splits [0, n) into at most workers contiguous chunks of at least
+// minChunk indexes each and runs fn on every chunk, concurrently when
+// more than one chunk results. It returns only after all chunks
+// finish. fn must confine its writes to state owned by its own index
+// range. When the loop is too small to be worth forking (or workers
+// <= 1) fn runs inline on the full range, so sequential and parallel
+// callers share one code path and one result.
+func For(n, workers, minChunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if maxW := n / minChunk; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

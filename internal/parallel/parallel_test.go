@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-5); got != want {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// TestForCoversRangeOnce checks every index is visited exactly once for
+// a spread of sizes and worker counts, including the inline fast path.
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000, 4097} {
+		for _, workers := range []int{1, 2, 3, 8, 100} {
+			for _, minChunk := range []int{1, 16, 4096} {
+				hits := make([]int32, n)
+				For(n, workers, minChunk, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("n=%d workers=%d minChunk=%d: index %d visited %d times", n, workers, minChunk, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForChunksRespectMinChunk asserts small loops do not fork: with
+// n < 2*minChunk only one chunk may exist (the inline path).
+func TestForChunksRespectMinChunk(t *testing.T) {
+	var calls int32
+	For(100, 8, 64, func(lo, hi int) { atomic.AddInt32(&calls, 1) })
+	if calls != 1 {
+		t.Fatalf("100 items with minChunk 64 ran in %d chunks, want 1", calls)
+	}
+	calls = 0
+	For(4096, 8, 1024, func(lo, hi int) { atomic.AddInt32(&calls, 1) })
+	if calls < 2 || calls > 4 {
+		t.Fatalf("4096 items with minChunk 1024 and 8 workers ran in %d chunks, want 2..4", calls)
+	}
+}
+
+// TestForDeterministicMergeOrder demonstrates the contract: per-index
+// writes then a sequential fold give identical results at any width.
+func TestForDeterministicMergeOrder(t *testing.T) {
+	const n = 10000
+	ref := make([]float64, n)
+	For(n, 1, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = float64(i) * 1.5
+		}
+	})
+	for _, workers := range []int{2, 5, 16} {
+		got := make([]float64, n)
+		For(n, workers, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = float64(i) * 1.5
+			}
+		})
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d differs", workers, i)
+			}
+		}
+	}
+}

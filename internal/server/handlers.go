@@ -155,6 +155,15 @@ func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "n must be positive")
 		return
 	}
+	// Reject malformed weight vectors (wrong dimension, NaN/Inf
+	// components) before spending an admission slot. Standard JSON
+	// cannot carry NaN/Inf literals, but ValidateWeights is the
+	// authoritative gate for any ingress that can (and returns a clearer
+	// error than the nil-Searcher fallback below).
+	if err := core.ValidateWeights(req.Weights, s.Snapshot().Dim()); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if !s.admit() {
 		writeErr(w, http.StatusTooManyRequests, "server at max in-flight queries")
 		return
@@ -206,6 +215,10 @@ func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
 	if !decode(w, r, &req) {
+		return
+	}
+	if err := core.ValidateWeights(req.Weights, s.Snapshot().Dim()); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if !s.admit() {

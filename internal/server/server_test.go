@@ -549,3 +549,33 @@ func TestSearchTruncatedTrailer(t *testing.T) {
 		t.Fatalf("trailer = %+v, want done and not truncated", trailer)
 	}
 }
+
+// TestWeightValidationBadRequests pins the HTTP mapping of
+// core.ValidateWeights: malformed weight vectors fail both query
+// endpoints with 400 before admission, rather than producing an empty
+// stream (the old nil-searcher path) or garbage ranks. Non-finite
+// components cannot ride standard JSON (the decoder rejects NaN and
+// 1e999 on its own, also a 400), so the cases here are the
+// dimension-mismatch class plus the decoder-level rejections.
+func TestWeightValidationBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, 100, 3, Config{})
+	for _, tc := range []struct {
+		name, path, body string
+	}{
+		{"topn short weights", "/v1/topn", `{"weights":[1,2],"n":5}`},
+		{"topn empty weights", "/v1/topn", `{"weights":[],"n":5}`},
+		{"topn inf literal", "/v1/topn", `{"weights":[1e999,0,0],"n":5}`},
+		{"search short weights", "/v1/search", `{"weights":[1,2],"limit":5}`},
+		{"search long weights", "/v1/search", `{"weights":[1,2,3,4],"limit":5}`},
+		{"search inf literal", "/v1/search", `{"weights":[0,1e999,0],"limit":5}`},
+	} {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}

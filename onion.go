@@ -66,6 +66,14 @@ type Options struct {
 	Seed int64
 	// Progress, when non-nil, is invoked after each layer is built.
 	Progress func(layer, assigned, total int)
+	// Parallelism bounds the worker goroutines used by hull
+	// construction/maintenance scans and by query scoring over large
+	// layers. 0 = one worker per CPU (the default), 1 = fully
+	// sequential, n = exactly n. The index produced is identical at
+	// every setting: parallel scans merge deterministically, so layer
+	// membership, layer order, and joggle decisions never depend on the
+	// worker count.
+	Parallelism int
 }
 
 // Index is an Onion index over a set of records. Queries
@@ -85,10 +93,11 @@ type Index struct {
 // build rarely, query fast.
 func Build(records []Record, opt Options) (*Index, error) {
 	ix, err := core.Build(records, core.Options{
-		Tol:       opt.Tol,
-		MaxLayers: opt.MaxLayers,
-		Seed:      opt.Seed,
-		Progress:  opt.Progress,
+		Tol:         opt.Tol,
+		MaxLayers:   opt.MaxLayers,
+		Seed:        opt.Seed,
+		Progress:    opt.Progress,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +184,14 @@ func (x *Index) SearchContext(ctx context.Context, weights []float64, limit int)
 func (x *Index) Clone() *Index {
 	return &Index{ix: x.ix.Clone()}
 }
+
+// SetParallelism adjusts the worker bound used by subsequent
+// maintenance hulls and large-layer query scoring (0 = one worker per
+// CPU, 1 = sequential, n = exactly n). Results are identical at every
+// setting. Indexes loaded from disk default to 0 (all cores); use this
+// to cap the CPU share instead. Not safe to call concurrently with
+// queries or maintenance.
+func (x *Index) SetParallelism(n int) { x.ix.SetParallelism(n) }
 
 // Insert adds a record, cascading layer repairs inwards (paper Section
 // 3.4). It invalidates any shell acceleration.

@@ -18,4 +18,14 @@ go vet ./...
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
 
+# Parallel-build determinism smoke: a small -build-scaling sweep exits
+# non-zero if any worker count produces a different layer partition
+# than the sequential build (the guarantee the serving layer's seeded
+# replay depends on — see DESIGN.md §7). Kept small so it adds seconds,
+# not minutes; the committed BENCH_build.json is the full-size run.
+echo "== parallel build determinism smoke (onionbench -build-scaling)"
+smoke_out="$(mktemp)"
+trap 'rm -f "$smoke_out"' EXIT
+go run ./cmd/onionbench -build-scaling -n 8000 -build-workers 1,4 -build-out "$smoke_out"
+
 echo "CI OK"
