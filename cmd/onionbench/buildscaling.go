@@ -1,10 +1,8 @@
 package main
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"runtime"
 	"strconv"
@@ -24,7 +22,8 @@ import (
 // one fixed corpus (Gaussian 4D, 100k points unless -n overrides),
 // measures the wall-clock build at each worker count, and verifies the
 // determinism guarantee the parallel design promises: every build must
-// produce byte-identical layers (checked by fingerprint; any mismatch
+// produce the identical layer partition (checked by core.Fingerprint,
+// the same oracle the WAL crash-recovery tests use; any mismatch
 // exits non-zero, which is what lets scripts/ci.sh use a small sweep as
 // a regression gate). The summary lands in -build-out (BENCH_build.json)
 // next to the serving baseline BENCH_server.json.
@@ -80,27 +79,6 @@ func parseWorkerList(s string) ([]int, error) {
 	return out, nil
 }
 
-// layerFingerprint hashes the full layer partition — layer count, each
-// layer's length, and each member's record ID in storage order — so two
-// indexes fingerprint equal iff their layer structures are identical.
-func layerFingerprint(ix *core.Index) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
-	}
-	put(uint64(ix.NumLayers()))
-	for k := 0; k < ix.NumLayers(); k++ {
-		recs := ix.Layer(k)
-		put(uint64(len(recs)))
-		for _, r := range recs {
-			put(r.ID)
-		}
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
 func buildScaling(n int, workerList, outPath string) {
 	const dim = 4
 	workers, err := parseWorkerList(workerList)
@@ -138,7 +116,7 @@ func buildScaling(n int, workerList, outPath string) {
 			fatal(fmt.Errorf("build with %d workers: %w", w, err))
 		}
 		secs := time.Since(start).Seconds()
-		fp := layerFingerprint(ix)
+		fp := ix.Fingerprint()
 		run := buildScalingRun{Workers: w, Seconds: secs, Layers: ix.NumLayers(), Fingerprint: fp}
 		if w == 1 {
 			baseSeconds, baseFingerprint = secs, fp
@@ -169,5 +147,5 @@ func buildScaling(n int, workerList, outPath string) {
 		// replay everywhere (serving-layer rebuilds included).
 		fatal(fmt.Errorf("parallel build output differs from sequential build — determinism violated"))
 	}
-	fmt.Println("determinism check: all builds byte-identical")
+	fmt.Println("determinism check: all builds produced the identical layer partition")
 }

@@ -5,6 +5,7 @@
 //
 //	onionserve -index colleges.onion -addr :8080
 //	onionserve -random 100000 -dim 3 -dist gaussian   # synthetic demo corpus
+//	onionserve -random 100000 -data-dir /var/lib/onion # durable mutations
 //
 // Endpoints:
 //
@@ -17,9 +18,12 @@
 //
 // Queries run lock-free against an immutable snapshot; mutations are
 // batched by a single mutator goroutine and published by atomic
-// pointer swap (see internal/server). SIGINT/SIGTERM drain active
-// requests, flush pending mutations, and optionally persist the final
-// snapshot with -save-on-exit.
+// pointer swap (see internal/server). With -data-dir, every mutation
+// batch is group-committed to a write-ahead log before its snapshot is
+// published, and restart recovers the newest checkpoint plus the log's
+// valid prefix (see internal/wal and the README's Durability section).
+// SIGINT/SIGTERM drain active requests, flush pending mutations, and
+// checkpoint the final snapshot (or persist it with -save-on-exit).
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/storage"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -53,6 +58,9 @@ var (
 	batchFlag    = flag.Int("max-batch", 32, "max mutations coalesced per snapshot rebuild")
 	saveFlag     = flag.String("save-on-exit", "", "persist the final snapshot to this path on shutdown")
 	parFlag      = flag.Int("parallelism", 0, "worker bound for hull maintenance and large-layer query scoring (0 = one per CPU, 1 = sequential)")
+	dataDirFlag  = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints; mutations become durable and restarts recover the last published state")
+	fsyncFlag    = flag.String("fsync", "batch", "log flush policy with -data-dir: always (per record), batch (per group commit), off")
+	ckptFlag     = flag.Int64("checkpoint-bytes", 0, "log size that triggers an automatic checkpoint (0 = 64 MB, negative = never)")
 )
 
 func main() {
@@ -60,7 +68,7 @@ func main() {
 	log.SetPrefix("onionserve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	ix, err := loadIndex()
+	ix, mgr, err := openState()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,12 +78,22 @@ func main() {
 	ix.SetParallelism(*parFlag)
 	log.Printf("index ready: %d records, %d attributes, %d layers", ix.Len(), ix.Dim(), ix.NumLayers())
 
-	srv := server.New(ix, server.Config{
+	cfg := server.Config{
 		MaxInFlight:  *inflightFlag,
 		MaxBatchOps:  *batchFlag,
 		QueryTimeout: *timeoutFlag,
 		MaxResults:   *resultsFlag,
-	})
+	}
+	if mgr != nil {
+		// Assign only when a manager exists: a nil *wal.Manager stored in
+		// the interface field would be non-nil to the server and panic on
+		// first commit.
+		cfg.WAL = mgr
+	}
+	srv := server.New(ix, cfg)
+	if mgr != nil {
+		srv.AttachVars("wal", mgr.Vars())
+	}
 	srv.PublishVars("onionserve") // visible on /debug/vars too, if imported
 
 	httpSrv := &http.Server{
@@ -108,6 +126,16 @@ func main() {
 	if err := srv.Close(shutCtx); err != nil {
 		log.Printf("mutator drain: %v", err)
 	}
+	if mgr != nil {
+		// Checkpoint the final snapshot so the next boot needs no replay,
+		// then release the log.
+		if err := mgr.Checkpoint(srv.Snapshot()); err != nil {
+			log.Printf("shutdown checkpoint: %v (log remains authoritative)", err)
+		}
+		if err := mgr.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
+	}
 	if *saveFlag != "" {
 		if err := storage.Write(*saveFlag, srv.Snapshot()); err != nil {
 			log.Printf("save-on-exit: %v", err)
@@ -116,6 +144,44 @@ func main() {
 		}
 	}
 	log.Print("bye")
+}
+
+// openState resolves the serving index. With -data-dir, recovered
+// durable state wins over -index/-random (those only seed a fresh
+// directory); without it, the index is purely in-memory.
+func openState() (*core.Index, *wal.Manager, error) {
+	if *dataDirFlag == "" {
+		ix, err := loadIndex()
+		return ix, nil, err
+	}
+	mode, err := wal.ParseMode(*fsyncFlag)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	mgr, ix, err := wal.Open(*dataDirFlag, wal.Config{
+		Fsync:           mode,
+		CheckpointBytes: *ckptFlag,
+		Options:         core.Options{Seed: *seedFlag, Parallelism: *parFlag},
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("data dir %s: %w", *dataDirFlag, err)
+	}
+	if ix != nil {
+		log.Printf("recovered %s (epoch %d, log %d bytes) in %v",
+			*dataDirFlag, mgr.Seq(), mgr.LogSize(), time.Since(start).Round(time.Millisecond))
+		return ix, mgr, nil
+	}
+	// Fresh directory: seed it from -index/-random and make that initial
+	// state durable before serving.
+	if ix, err = loadIndex(); err != nil {
+		return nil, nil, err
+	}
+	if err := mgr.Bootstrap(ix); err != nil {
+		return nil, nil, fmt.Errorf("bootstrap %s: %w", *dataDirFlag, err)
+	}
+	log.Printf("bootstrapped %s from initial corpus", *dataDirFlag)
+	return ix, mgr, nil
 }
 
 func loadIndex() (*core.Index, error) {

@@ -5,6 +5,26 @@ import (
 	"fmt"
 )
 
+// Empty returns an index of the given dimension holding no records and
+// no layers. Build refuses an empty record set because peeling nothing
+// is meaningless, but a serving system needs the state to be
+// representable: an index whose records were all deleted checkpoints as
+// a zero-layer file, and crash recovery must be able to reconstruct
+// that state before replaying the WAL tail (which may immediately
+// insert into it). Insertions into an empty index cascade normally.
+func Empty(dim int, opt Options) (*Index, error) {
+	if dim <= 0 {
+		return nil, errors.New("core: dimension must be positive")
+	}
+	return &Index{
+		dim:     dim,
+		posOf:   make(map[uint64]int),
+		tol:     opt.Tol,
+		seed:    opt.Seed,
+		workers: opt.Parallelism,
+	}, nil
+}
+
 // FromLayers reconstructs an Index from an existing layer partition —
 // typically one read back from the paged flat-file format — without
 // re-running the convex-hull peeling. The caller asserts the layers

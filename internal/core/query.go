@@ -113,19 +113,19 @@ func (ix *Index) TopN(weights []float64, n int) ([]Result, Stats, error) {
 // record ranked M is always delivered before the record ranked M+1, so
 // clients can consume a prefix and abandon the rest at no extra cost.
 type Searcher struct {
-	ix      *Index
-	weights []float64
-	remain  int  // results still to deliver; <0 means unbounded
-	k       int  // next layer to evaluate
-	started bool // layer 0 processed
+	ix       *Index
+	weights  []float64
+	remain   int  // results still to deliver; <0 means unbounded
+	k        int  // next layer to evaluate
+	started  bool // layer 0 processed
 	cand     topk.MaxHeap
 	emit     []Result // pending results in descending order
 	emitPos  int
 	scoreBuf []float64 // scratch for parallel layer scoring, reused per layer
 	stats    Stats
-	trace   func(TraceEvent) // optional step-by-step narration
-	ctx     context.Context  // optional cancellation; nil = never cancelled
-	err     error            // ctx error once observed
+	trace    func(TraceEvent) // optional step-by-step narration
+	ctx      context.Context  // optional cancellation; nil = never cancelled
+	err      error            // ctx error once observed
 }
 
 // WithContext attaches ctx to the searcher: once ctx is cancelled or its

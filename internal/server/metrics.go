@@ -2,88 +2,19 @@ package server
 
 import (
 	"expvar"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Runtime telemetry. Counters and histograms live in a per-server
 // expvar.Map rather than the process-global expvar registry so that
 // multiple servers (tests, embedded use) never collide; cmd/onionserve
 // additionally publishes the map globally for /debug/vars scrapers.
-
-// histBuckets are upper bounds in nanoseconds, exponential from 100µs.
-// 22 doublings reach ~7 minutes; the last bucket is unbounded.
-const histBase = 100 * 1000 // 100µs in ns
-const histCount = 24
-
-// histogram is a lock-free exponential latency histogram.
-type histogram struct {
-	count   atomic.Int64
-	sumNs   atomic.Int64
-	buckets [histCount]atomic.Int64
-}
-
-func bucketBound(i int) int64 { return histBase << uint(i) }
-
-func (h *histogram) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	h.count.Add(1)
-	h.sumNs.Add(ns)
-	for i := 0; i < histCount-1; i++ {
-		if ns <= bucketBound(i) {
-			h.buckets[i].Add(1)
-			return
-		}
-	}
-	h.buckets[histCount-1].Add(1)
-}
-
-// quantile estimates the q-quantile (0 < q < 1) in milliseconds by
-// linear interpolation inside the containing bucket. With no samples it
-// returns 0.
-func (h *histogram) quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := q * float64(total)
-	var acc int64
-	lo := int64(0)
-	for i := 0; i < histCount; i++ {
-		c := h.buckets[i].Load()
-		hi := bucketBound(i)
-		if i == histCount-1 {
-			hi = 2 * bucketBound(histCount-2) // nominal cap for the overflow bucket
-		}
-		if float64(acc+c) >= rank && c > 0 {
-			frac := (rank - float64(acc)) / float64(c)
-			return (float64(lo) + frac*float64(hi-lo)) / 1e6
-		}
-		acc += c
-		lo = hi
-	}
-	return float64(lo) / 1e6
-}
-
-// summary renders the histogram for expvar: count, mean and the
-// quantiles a load test regresses against.
-func (h *histogram) summary() map[string]any {
-	n := h.count.Load()
-	out := map[string]any{
-		"count": n,
-		"p50":   h.quantile(0.50),
-		"p90":   h.quantile(0.90),
-		"p99":   h.quantile(0.99),
-	}
-	if n > 0 {
-		out["mean"] = float64(h.sumNs.Load()) / float64(n) / 1e6
-	} else {
-		out["mean"] = 0.0
-	}
-	return out
-}
+// Latency histograms are telemetry.Histogram — the same type the WAL
+// manager uses for fsync timings, so /v1/metrics reports query and
+// durability latencies in one shape.
 
 // metrics is the server's telemetry. Every field is safe for
 // concurrent use.
@@ -100,19 +31,23 @@ type metrics struct {
 	snapshotSwaps    expvar.Int // atomic pointer swaps published
 	rebuildNanos     expvar.Int // total time building new snapshots
 	inflight         expvar.Int // currently admitted queries (gauge)
+	walCommits       expvar.Int // batches durably logged before publish
+	walCommitErrors  expvar.Int // batches failed (and unpublished) by the WAL
 
-	topnLatency   *histogram
-	searchLatency *histogram
-	mutateLatency *histogram
+	topnLatency      *telemetry.Histogram
+	searchLatency    *telemetry.Histogram
+	mutateLatency    *telemetry.Histogram
+	walCommitLatency *telemetry.Histogram // group-commit (append+fsync) time
 
 	vars *expvar.Map
 }
 
 func newMetrics() *metrics {
 	m := &metrics{
-		topnLatency:   &histogram{},
-		searchLatency: &histogram{},
-		mutateLatency: &histogram{},
+		topnLatency:      &telemetry.Histogram{},
+		searchLatency:    &telemetry.Histogram{},
+		mutateLatency:    &telemetry.Histogram{},
+		walCommitLatency: &telemetry.Histogram{},
 	}
 	v := new(expvar.Map).Init()
 	v.Set("queries_served", &m.queriesServed)
@@ -127,23 +62,31 @@ func newMetrics() *metrics {
 	v.Set("snapshot_swaps", &m.snapshotSwaps)
 	v.Set("rebuild_ns", &m.rebuildNanos)
 	v.Set("inflight", &m.inflight)
-	v.Set("topn_latency_ms", expvar.Func(func() any { return m.topnLatency.summary() }))
-	v.Set("search_latency_ms", expvar.Func(func() any { return m.searchLatency.summary() }))
-	v.Set("rebuild_latency_ms", expvar.Func(func() any { return m.mutateLatency.summary() }))
+	v.Set("wal_commits", &m.walCommits)
+	v.Set("wal_commit_errors", &m.walCommitErrors)
+	v.Set("topn_latency_ms", expvar.Func(func() any { return m.topnLatency.Summary() }))
+	v.Set("search_latency_ms", expvar.Func(func() any { return m.searchLatency.Summary() }))
+	v.Set("rebuild_latency_ms", expvar.Func(func() any { return m.mutateLatency.Summary() }))
+	v.Set("wal_commit_latency_ms", expvar.Func(func() any { return m.walCommitLatency.Summary() }))
 	m.vars = v
 	return m
 }
 
 // observeQuery folds one completed query's work into the counters.
-func (m *metrics) observeQuery(st core.Stats, d time.Duration, h *histogram) {
+func (m *metrics) observeQuery(st core.Stats, d time.Duration, h *telemetry.Histogram) {
 	m.queriesServed.Add(1)
 	m.recordsEvaluated.Add(int64(st.RecordsEvaluated))
 	m.layersAccessed.Add(int64(st.LayersAccessed))
-	h.observe(d)
+	h.Observe(d)
 }
 
 // Vars exposes the metric map (for embedding servers and for tests).
 func (s *Server) Vars() *expvar.Map { return s.metrics.vars }
+
+// AttachVars nests an extra metric group (e.g. the WAL manager's
+// counters) under the given name, so it appears on /v1/metrics next to
+// the serving counters.
+func (s *Server) AttachVars(name string, v expvar.Var) { s.metrics.vars.Set(name, v) }
 
 // PublishVars registers the metric map in the process-global expvar
 // registry under the given name. Call at most once per process.

@@ -29,11 +29,13 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 // Config tunes the server. The zero value is ready to use.
@@ -53,6 +55,14 @@ type Config struct {
 	// (0 = unlimited). A cap keeps one greedy client from turning a
 	// top-N service into a full-sort service.
 	MaxResults int
+	// WAL, when non-nil, makes mutations durable: the mutator hands
+	// every applied batch to CommitBatch — one group commit, so a single
+	// fsync covers every operation coalesced into the batch — before the
+	// snapshot containing it is published. If the commit fails, the
+	// snapshot is not published and every operation in the batch is
+	// failed back to its caller: nothing is ever acknowledged that would
+	// not survive a crash. Typically a *wal.Manager.
+	WAL wal.Committer
 }
 
 func (c *Config) withDefaults() Config {
@@ -234,11 +244,43 @@ func (s *Server) apply(batch []op) {
 			}
 		}
 	}
+	// Durability barrier: the batch's surviving operations are logged
+	// and (per the manager's fsync mode) forced to stable storage in one
+	// group commit before the snapshot becomes visible. A failed commit
+	// aborts the publish — callers must never see success for a write
+	// that would not be replayed after a crash.
+	if applied > 0 && s.cfg.WAL != nil {
+		muts := make([]wal.Mutation, 0, applied)
+		for i, o := range batch {
+			if errs[i] != nil {
+				continue
+			}
+			switch {
+			case len(o.insert) > 0:
+				muts = append(muts, wal.Mutation{Insert: o.insert})
+			case len(o.del) > 0:
+				muts = append(muts, wal.Mutation{Delete: o.del})
+			}
+		}
+		commitStart := time.Now()
+		if err := s.cfg.WAL.CommitBatch(muts, next); err != nil {
+			s.metrics.walCommitErrors.Add(1)
+			for i := range batch {
+				if errs[i] == nil {
+					errs[i] = fmt.Errorf("server: wal commit: %w", err)
+				}
+			}
+			applied = 0
+		} else {
+			s.metrics.walCommits.Add(1)
+			s.metrics.walCommitLatency.Observe(time.Since(commitStart))
+		}
+	}
 	if applied > 0 {
 		s.snap.Store(next)
 		s.metrics.snapshotSwaps.Add(1)
 		s.metrics.rebuildNanos.Add(time.Since(start).Nanoseconds())
-		s.metrics.mutateLatency.observe(time.Since(start))
+		s.metrics.mutateLatency.Observe(time.Since(start))
 	}
 	for i, o := range batch {
 		o.reply <- errs[i]

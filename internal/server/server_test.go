@@ -363,28 +363,6 @@ func TestCloseRejectsFurtherMutations(t *testing.T) {
 	}
 }
 
-func TestHistogramQuantiles(t *testing.T) {
-	h := &histogram{}
-	for i := 1; i <= 1000; i++ {
-		h.observe(time.Duration(i) * time.Millisecond)
-	}
-	p50 := h.quantile(0.50)
-	p99 := h.quantile(0.99)
-	if p50 < 200 || p50 > 900 {
-		t.Fatalf("p50 = %.1fms, want ~500ms within bucket resolution", p50)
-	}
-	if p99 < p50 {
-		t.Fatalf("p99 %.1f < p50 %.1f", p99, p50)
-	}
-	sum := h.summary()
-	if sum["count"].(int64) != 1000 {
-		t.Fatalf("count %v", sum["count"])
-	}
-	if m := sum["mean"].(float64); m < 400 || m > 600 {
-		t.Fatalf("mean %.1fms, want ~500", m)
-	}
-}
-
 func BenchmarkTopNHandler(b *testing.B) {
 	s := New(buildIndex(b, 5000, 3, 42), Config{})
 	defer s.Close(context.Background())

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSearchClientCancelNoGoroutineLeak drives the real network path of
+// a mid-NDJSON hang-up: an HTTP client consumes a prefix of a
+// progressive stream and cancels. The handler must notice (the
+// searcher stops, search_cancelled increments) and every goroutine the
+// request spawned must drain — the leak check this test exists for
+// runs meaningfully under -race.
+func TestSearchClientCancelNoGoroutineLeak(t *testing.T) {
+	s, ts := newTestServer(t, 20000, 2, Config{})
+
+	client := &http.Client{Transport: &http.Transport{}}
+	defer client.CloseIdleConnections()
+
+	// Warm up one full request/response cycle so the transport's steady
+	// state goroutines exist before the baseline is taken.
+	warm, err := client.Post(ts.URL+"/v1/healthz", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Body.Close()
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	const streams = 4
+	for i := 0; i < streams; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		body, _ := json.Marshal(SearchRequest{Weights: []float64{0.6, 0.4}, Limit: 0})
+		req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/search", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Consume two ranks mid-stream, then hang up without draining.
+		br := bufio.NewReader(resp.Body)
+		for l := 0; l < 2; l++ {
+			if _, err := br.ReadString('\n'); err != nil {
+				t.Fatalf("stream %d line %d: %v", i, l, err)
+			}
+		}
+		cancel()
+		resp.Body.Close()
+	}
+
+	// The handler observes the cancel asynchronously; give it a bounded
+	// window rather than a sleep.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.searchCancelled.Value() < streams {
+		if time.Now().After(deadline) {
+			t.Fatalf("search_cancelled = %d after %d abandoned streams",
+				s.metrics.searchCancelled.Value(), streams)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// search_cancelled == streams proves every searcher terminated via
+	// the cancel path, not by walking to natural completion. How *early*
+	// it stops is not asserted here: the kernel socket buffers absorb an
+	// unpredictable prefix of the stream before the handler blocks, so a
+	// record-count bound would be a bet on buffer sizes. The synthetic
+	// TestSearchCancelStopsConsumingLayers pins the early-stop property
+	// deterministically with an in-process writer.
+
+	// Every request goroutine (handler, searcher, transport writer) must
+	// be gone. Allow slack for runtime background goroutines.
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines %d, baseline %d — leak after client cancels:\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSearchTruncatedTrailerExactBoundary pins the off-by-one edge of
+// the truncated flag: a cap exactly equal to the index size delivers
+// the complete ranking (not truncated); a cap one short cuts it
+// (truncated). The flag must flip exactly between these neighbors.
+func TestSearchTruncatedTrailerExactBoundary(t *testing.T) {
+	const n = 60
+	for _, tc := range []struct {
+		name      string
+		cap       int
+		wantLen   int
+		truncated bool
+	}{
+		{"cap equals index size", n, n, false},
+		{"cap one short", n - 1, n - 1, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, n, 2, Config{MaxResults: tc.cap})
+			resp := postJSON(t, ts.URL+"/v1/search", SearchRequest{Weights: []float64{1, 1}, Limit: 0})
+			results, trailer := readSearchStream(t, resp)
+			resp.Body.Close()
+			if len(results) != tc.wantLen {
+				t.Fatalf("got %d results, want %d", len(results), tc.wantLen)
+			}
+			if trailer == nil || !trailer.Done || trailer.Truncated != tc.truncated {
+				t.Fatalf("trailer = %+v, want done with truncated=%v", trailer, tc.truncated)
+			}
+		})
+	}
+}

@@ -4,22 +4,55 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/vfs"
 )
 
 // Write serializes a built Onion index into the paged flat-file format,
-// one layer after another, each starting on a fresh page.
+// one layer after another, each starting on a fresh page. The write is
+// atomic and crash-durable: see WriteFS.
 func Write(path string, ix *core.Index) error {
+	return WriteFS(vfs.OS{}, path, ix)
+}
+
+// WriteFS is Write against an explicit filesystem (the seam the crash
+// tests inject a power-loss simulator through). It follows the full
+// atomic-replace discipline:
+//
+//	write temp → fsync temp → rename over path → fsync directory
+//
+// Rename alone makes the replacement atomic against concurrent readers
+// but not against power loss: without the temp-file fsync the new name
+// can point at zero-filled pages after a crash, and without the
+// directory fsync the rename itself may not survive. Either omission
+// loses a "saved" index; TestWriteSurvivesCrash pins both.
+func WriteFS(fsys vfs.FS, path string, ix *core.Index) error {
 	data, err := Marshal(ix)
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // Marshal serializes the index to page-aligned bytes (the in-memory

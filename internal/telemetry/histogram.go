@@ -1,0 +1,89 @@
+// Package telemetry holds the lock-free latency histogram shared by
+// every subsystem that reports timing quantiles — the query server's
+// per-endpoint latencies and the durability layer's fsync and
+// checkpoint timings. It lived inside internal/server until the WAL
+// needed the same shape; the type is deliberately tiny so embedding it
+// costs one cache line per bucket and no locks.
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Bucket bounds are upper bounds in nanoseconds, exponential from
+// 100µs. 22 doublings reach ~7 minutes; the last bucket is unbounded.
+const histBase = 100 * 1000 // 100µs in ns
+const histCount = 24
+
+// Histogram is a lock-free exponential latency histogram. The zero
+// value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [histCount]atomic.Int64
+}
+
+func bucketBound(i int) int64 { return histBase << uint(i) }
+
+// Observe folds one duration into the histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for i := 0; i < histCount-1; i++ {
+		if ns <= bucketBound(i) {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[histCount-1].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (0 < q < 1) in milliseconds by
+// linear interpolation inside the containing bucket. With no samples it
+// returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var acc int64
+	lo := int64(0)
+	for i := 0; i < histCount; i++ {
+		c := h.buckets[i].Load()
+		hi := bucketBound(i)
+		if i == histCount-1 {
+			hi = 2 * bucketBound(histCount-2) // nominal cap for the overflow bucket
+		}
+		if float64(acc+c) >= rank && c > 0 {
+			frac := (rank - float64(acc)) / float64(c)
+			return (float64(lo) + frac*float64(hi-lo)) / 1e6
+		}
+		acc += c
+		lo = hi
+	}
+	return float64(lo) / 1e6
+}
+
+// Summary renders the histogram for expvar: count, mean and the
+// quantiles a load test regresses against.
+func (h *Histogram) Summary() map[string]any {
+	n := h.count.Load()
+	out := map[string]any{
+		"count": n,
+		"p50":   h.Quantile(0.50),
+		"p90":   h.Quantile(0.90),
+		"p99":   h.Quantile(0.99),
+	}
+	if n > 0 {
+		out["mean"] = float64(h.sumNs.Load()) / float64(n) / 1e6
+	} else {
+		out["mean"] = 0.0
+	}
+	return out
+}

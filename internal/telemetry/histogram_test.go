@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	if p50 < 200 || p50 > 900 {
+		t.Fatalf("p50 = %.1fms, want ~500ms within bucket resolution", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %.1f < p50 %.1f", p99, p50)
+	}
+	sum := h.Summary()
+	if sum["count"].(int64) != 1000 {
+		t.Fatalf("count %v", sum["count"])
+	}
+	if m := sum["mean"].(float64); m < 400 || m > 600 {
+		t.Fatalf("mean %.1fms, want ~500", m)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramZeroValue(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	sum := h.Summary()
+	if sum["count"].(int64) != 0 || sum["mean"].(float64) != 0 {
+		t.Fatalf("empty summary = %v", sum)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(20 * time.Minute) // beyond the last bounded bucket
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q <= 0 {
+		t.Fatalf("overflow quantile = %v", q)
+	}
+}

@@ -1,0 +1,222 @@
+package vfs
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// CrashFS is an in-memory FS that models the strictest durability
+// contract a POSIX filesystem may offer. It keeps two worlds:
+//
+//   - the live world — what the running process observes: every write,
+//     rename and create is immediately visible, exactly like the page
+//     cache;
+//   - the durable world — what stable storage holds: a file's content
+//     advances only on File.Sync, and the namespace of a directory
+//     (which names exist, and which file each points at) advances only
+//     on SyncDir.
+//
+// Crash discards the live world and reconstructs it from the durable
+// one, simulating power loss + reboot. Code that follows the full
+// temp-write → fsync → rename → fsync-dir discipline survives a Crash
+// intact; code that skips any step observably loses data — which is
+// what the regression tests in storage and wal assert.
+type CrashFS struct {
+	mu sync.Mutex
+	// live maps path -> node for the running process's view.
+	live map[string]*memNode
+	// durable maps path -> node for the namespace entries that survive
+	// a crash. The surviving *content* is each node's synced snapshot.
+	durable map[string]*memNode
+	// dirs is the set of live directories. Directory creation is
+	// treated as immediately durable: the recovery code creates its
+	// data directory before any state exists, so nothing of interest
+	// can be lost with it.
+	dirs map[string]bool
+}
+
+// memNode is one file. data is the live content; synced is the content
+// at the last File.Sync — what a crash preserves (for names that were
+// themselves durable).
+type memNode struct {
+	data   []byte
+	synced []byte
+}
+
+// NewCrashFS returns an empty crash-simulating filesystem with "/"
+// present.
+func NewCrashFS() *CrashFS {
+	return &CrashFS{
+		live:    make(map[string]*memNode),
+		durable: make(map[string]*memNode),
+		dirs:    map[string]bool{"/": true, ".": true},
+	}
+}
+
+// Crash simulates power loss: every byte not covered by a File.Sync and
+// every namespace change not covered by a SyncDir is gone. Open handles
+// become stale; callers are expected to reopen what they need, exactly
+// as a restarted process would.
+func (c *CrashFS) Crash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.live = make(map[string]*memNode, len(c.durable))
+	for path, n := range c.durable {
+		c.live[path] = &memNode{data: clone(n.synced), synced: clone(n.synced)}
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+type crashFile struct {
+	fs   *CrashFS
+	node *memNode
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.node.data = append(f.node.data, p...)
+	return len(p), nil
+}
+
+func (f *crashFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.node.synced = clone(f.node.data)
+	return nil
+}
+
+func (f *crashFile) Close() error { return nil }
+
+func (c *CrashFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	name = filepath.Clean(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.live[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		if !c.dirs[filepath.Dir(name)] {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		n = &memNode{}
+		c.live[name] = n
+	case flag&os.O_TRUNC != 0:
+		n.data = nil
+	}
+	return &crashFile{fs: c, node: n}, nil
+}
+
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	name = filepath.Clean(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.live[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return clone(n.data), nil
+}
+
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.live[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(c.live, oldpath)
+	c.live[newpath] = n
+	return nil
+}
+
+func (c *CrashFS) Remove(name string) error {
+	name = filepath.Clean(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.live[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(c.live, name)
+	return nil
+}
+
+func (c *CrashFS) Truncate(name string, size int64) error {
+	name = filepath.Clean(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.live[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(n.data)) {
+		return fmt.Errorf("vfs: truncate %s to %d bytes of %d", name, size, len(n.data))
+	}
+	n.data = n.data[:size]
+	return nil
+}
+
+func (c *CrashFS) MkdirAll(dir string, perm fs.FileMode) error {
+	dir = filepath.Clean(dir)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for d := dir; ; d = filepath.Dir(d) {
+		c.dirs[d] = true
+		if d == filepath.Dir(d) {
+			break
+		}
+	}
+	return nil
+}
+
+func (c *CrashFS) ReadDir(dir string) ([]string, error) {
+	dir = filepath.Clean(dir)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirs[dir] {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	var names []string
+	for path := range c.live {
+		if filepath.Dir(path) == dir {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir makes dir's current namespace durable: every live entry
+// directly under dir becomes a durable name pointing at its current
+// node, and durable names no longer present live are forgotten. File
+// contents remain governed by File.Sync — syncing the directory of a
+// never-synced file makes an empty (or stale) file survive, exactly
+// like a real journal.
+func (c *CrashFS) SyncDir(dir string) error {
+	dir = filepath.Clean(dir)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirs[dir] {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	for path, n := range c.live {
+		if filepath.Dir(path) == dir {
+			c.durable[path] = n
+		}
+	}
+	for path := range c.durable {
+		if filepath.Dir(path) == dir {
+			if _, ok := c.live[path]; !ok {
+				delete(c.durable, path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"testing"
+)
+
+func write(t *testing.T, c *CrashFS, path string, data []byte, syncFile, syncDir bool) {
+	t.Helper()
+	f, err := c.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if syncFile {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if syncDir {
+		if err := c.SyncDir("/d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCrashDropsUnsyncedData(t *testing.T) {
+	c := NewCrashFS()
+	c.MkdirAll("/d", 0o755)
+
+	write(t, c, "/d/synced", []byte("durable"), true, true)
+	write(t, c, "/d/nofsync", []byte("volatile"), false, true)
+	write(t, c, "/d/nodirsync", []byte("unnamed"), true, false)
+
+	c.Crash()
+
+	if got, err := c.ReadFile("/d/synced"); err != nil || string(got) != "durable" {
+		t.Fatalf("synced file after crash: %q, %v", got, err)
+	}
+	// File name was durable (dir synced) but content never fsynced: the
+	// name survives pointing at an empty file — the torn state a real
+	// journal can leave.
+	if got, err := c.ReadFile("/d/nofsync"); err != nil || len(got) != 0 {
+		t.Fatalf("unsynced content after crash: %q, %v", got, err)
+	}
+	// Content was fsynced but the directory entry never was: gone.
+	if _, err := c.ReadFile("/d/nodirsync"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("unsynced dir entry after crash: err = %v, want not-exist", err)
+	}
+}
+
+func TestCrashRevertsUnsyncedRename(t *testing.T) {
+	c := NewCrashFS()
+	c.MkdirAll("/d", 0o755)
+	write(t, c, "/d/target", []byte("old"), true, true)
+	write(t, c, "/d/target.tmp", []byte("new"), true, true)
+
+	// Rename without the directory sync: the live view sees the new
+	// content, the durable view still holds the old file.
+	if err := c.Rename("/d/target.tmp", "/d/target"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.ReadFile("/d/target"); string(got) != "new" {
+		t.Fatalf("live view after rename: %q", got)
+	}
+	c.Crash()
+	if got, err := c.ReadFile("/d/target"); err != nil || string(got) != "old" {
+		t.Fatalf("durable view after crashed rename: %q, %v", got, err)
+	}
+
+	// Same rename followed by SyncDir is durable.
+	write(t, c, "/d/target.tmp", []byte("new"), true, true)
+	if err := c.Rename("/d/target.tmp", "/d/target"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash()
+	if got, err := c.ReadFile("/d/target"); err != nil || string(got) != "new" {
+		t.Fatalf("durable view after synced rename: %q, %v", got, err)
+	}
+	// The temp name is gone from both worlds.
+	if _, err := c.ReadFile("/d/target.tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("temp file survived: %v", err)
+	}
+}
+
+func TestTruncateAndAppend(t *testing.T) {
+	c := NewCrashFS()
+	c.MkdirAll("/d", 0o755)
+	write(t, c, "/d/log", []byte("0123456789"), true, true)
+	if err := c.Truncate("/d/log", 4); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.OpenFile("/d/log", os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("AB"))
+	f.Sync()
+	f.Close()
+	if got, _ := c.ReadFile("/d/log"); string(got) != "0123AB" {
+		t.Fatalf("after truncate+append: %q", got)
+	}
+	c.Crash()
+	if got, _ := c.ReadFile("/d/log"); string(got) != "0123AB" {
+		t.Fatalf("after crash: %q", got)
+	}
+	if err := c.Truncate("/d/log", 99); err == nil {
+		t.Fatal("truncate beyond EOF succeeded")
+	}
+}
+
+func TestReadDirListsLiveEntries(t *testing.T) {
+	c := NewCrashFS()
+	c.MkdirAll("/d", 0o755)
+	write(t, c, "/d/b", nil, false, false)
+	write(t, c, "/d/a", nil, false, false)
+	names, err := c.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+	if _, err := c.ReadDir("/nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing dir: %v", err)
+	}
+}
+
+// TestOSFSRoundTrip exercises the production FS against a real temp
+// directory so both implementations honor the same contract.
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var o OS
+	f, err := o.OpenFile(dir+"/x.tmp", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := o.Rename(dir+"/x.tmp", dir+"/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.ReadFile(dir + "/x")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	names, err := o.ReadDir(dir)
+	if err != nil || len(names) != 1 || names[0] != "x" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := o.Truncate(dir+"/x", 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = o.ReadFile(dir + "/x")
+	if string(got) != "he" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	if err := o.Remove(dir + "/x"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package vfs is the filesystem seam under every durable write the
+// repository performs. Crash safety cannot be tested by writing to a
+// real disk — the test would have to cut power — so the code that must
+// survive power loss (storage.WriteFS, package wal) talks to this
+// narrow interface instead of the os package directly. Production uses
+// OS, a thin veneer over os; tests use CrashFS, an in-memory
+// filesystem with POSIX-worst-case durability semantics: nothing
+// survives a crash unless it was explicitly fsynced, and a file's
+// directory entry survives only if its parent directory was synced.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable handle returned by FS.OpenFile. Reads go
+// through FS.ReadFile instead: the durability code only ever appends
+// to or creates files, and reads them back whole during recovery.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes written data to stable storage. Until Sync returns,
+	// none of the bytes written through this handle are guaranteed to
+	// survive a crash.
+	Sync() error
+}
+
+// FS is the set of filesystem operations durable code is allowed to
+// use. Every operation that affects the namespace (create, rename,
+// remove, truncate) becomes crash-durable only after SyncDir on the
+// parent directory — the contract journaling filesystems actually
+// provide, which CrashFS enforces literally.
+type FS interface {
+	// OpenFile opens name with os-style flags (O_WRONLY, O_CREATE,
+	// O_TRUNC, O_APPEND are the ones durable code uses).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadFile returns the entire current content of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath's file.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Truncate cuts the named file to size bytes.
+	Truncate(name string, size int64) error
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string, perm fs.FileMode) error
+	// ReadDir lists the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making namespace changes
+	// (creates, renames, removes) under it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: direct passthrough to package os.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

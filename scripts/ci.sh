@@ -18,6 +18,17 @@ go vet ./...
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
 
+# Short-budget fuzz passes. Seconds each, so regressions in the WAL
+# replayer (panic on crash garbage, non-canonical re-encoding) and the
+# query path (TopN vs brute force under adversarial weights) surface in
+# CI rather than only in long offline fuzz sessions. Any crasher found
+# is minimized into testdata/fuzz/ and replays as a plain test case
+# forever after.
+echo "== fuzz: FuzzWALReplay (5s)"
+go test -run='^$' -fuzz=FuzzWALReplay -fuzztime=5s ./internal/wal
+echo "== fuzz: FuzzTopNWeights (5s)"
+go test -run='^$' -fuzz=FuzzTopNWeights -fuzztime=5s ./internal/core
+
 # Parallel-build determinism smoke: a small -build-scaling sweep exits
 # non-zero if any worker count produces a different layer partition
 # than the sequential build (the guarantee the serving layer's seeded
