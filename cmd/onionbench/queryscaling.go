@@ -1,0 +1,445 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// onionbench -query-scaling: the read-side performance trajectory.
+//
+// The paper's evaluation counts records and layers (Table 1, Figure 9);
+// this mode measures what those counts cost on a real machine, across
+// the three scoring paths the index now has:
+//
+//	legacy          per-record []float64 walk, no slabs, no pruning
+//	columnar        contiguous layer slabs, strided kernels, no pruning
+//	columnar+prune  slabs plus the Cauchy–Schwarz/axis-box layer bound
+//	batch=K         TopNBatch, K queries fused per slab pass
+//
+// Before any timing, every (corpus × worker count) combination is
+// cross-checked: legacy, columnar (pruned and unpruned) and the batch
+// driver must return bit-identical results (IDs, score bits, layers,
+// order), and the legacy reference itself is checked against a
+// brute-force scan. Any mismatch exits non-zero — scripts/ci.sh runs a
+// small sweep as a regression gate on exactly this property.
+//
+// The summary lands in -query-out (BENCH_query.json) next to
+// BENCH_build.json and BENCH_server.json. The headline block is the
+// committed acceptance number: columnar vs legacy ns/query on the
+// largest 4D corpus at one worker, with num_cpu alongside so readers
+// can judge the parallel rows.
+
+// queryScalingRun is one measured configuration of the sweep.
+type queryScalingRun struct {
+	Dim              int     `json:"dim"`
+	N                int     `json:"n"`
+	Layers           int     `json:"layers"`
+	TopN             int     `json:"topn"`
+	Mode             string  `json:"mode"`
+	Workers          int     `json:"workers"`
+	Batch            int     `json:"batch,omitempty"`
+	NsPerQuery       float64 `json:"ns_per_query"`
+	QueriesPerSec    float64 `json:"queries_per_sec"`
+	RecordsEvaluated float64 `json:"records_evaluated_avg"`
+	LayersPruned     float64 `json:"layers_pruned_avg,omitempty"`
+	SpeedupVsLegacy  float64 `json:"speedup_vs_legacy,omitempty"`
+}
+
+// queryHeadline is the acceptance number: the largest 4D corpus,
+// sequential workers, smallest top-N (the paper's interactive shape).
+type queryHeadline struct {
+	Dim                     int     `json:"dim"`
+	N                       int     `json:"n"`
+	TopN                    int     `json:"topn"`
+	Workers                 int     `json:"workers"`
+	SpeedupColumnarVsLegacy float64 `json:"speedup_columnar_vs_legacy"`
+	SpeedupPrunedVsLegacy   float64 `json:"speedup_pruned_vs_legacy"`
+	SpeedupBatchVsLegacy    float64 `json:"speedup_batch_vs_legacy"`
+}
+
+// queryScalingSummary is the BENCH_query.json schema.
+type queryScalingSummary struct {
+	Kind            string            `json:"kind"`
+	Generated       string            `json:"generated"`
+	Dist            string            `json:"dist"`
+	Seed            int64             `json:"seed"`
+	Queries         int               `json:"queries"`
+	NumCPU          int               `json:"num_cpu"`
+	GOMAXPROCS      int               `json:"gomaxprocs"`
+	Workers         []int             `json:"workers"`
+	TopNs           []int             `json:"topns"`
+	BatchSizes      []int             `json:"batch_sizes"`
+	Runs            []queryScalingRun `json:"runs"`
+	IdenticalOutput bool              `json:"identical_output"`
+	Headline        *queryHeadline    `json:"headline,omitempty"`
+}
+
+// queryScaling sweeps dims × corpus sizes × top-N × worker counts over
+// the scoring paths, gating on cross-path equivalence first.
+func queryScaling(n, queries int, workerList, outPath string) {
+	workers, err := parseWorkerList(workerList)
+	if err != nil {
+		fatal(err)
+	}
+	topNs := []int{10, 100}
+	batchSizes := []int{8, 32}
+	if queries < 1 {
+		queries = 1
+	}
+	for _, bs := range batchSizes {
+		if queries < bs {
+			queries = bs // each batch size needs at least one full batch
+		}
+	}
+
+	// Corpora: the paper's evaluated dimensionalities at two scales, so
+	// the sweep covers both layer count (grows with n) and layer size
+	// (grows with n and with dim).
+	type corpusSpec struct{ dim, n int }
+	var specs []corpusSpec
+	small := n / 10
+	if small < 1000 {
+		small = 1000
+	}
+	for _, d := range []int{2, 3, 4} {
+		if small < n {
+			specs = append(specs, corpusSpec{d, small})
+		}
+		specs = append(specs, corpusSpec{d, n})
+	}
+
+	fmt.Printf("=== query scaling: Gaussian, n up to %d, %d queries, seed=%d, workers %v ===\n",
+		n, queries, *seedFlag, workers)
+	fmt.Printf("host: %d CPU(s), GOMAXPROCS=%d\n\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+
+	summary := queryScalingSummary{
+		Kind:            "onion-query-scaling",
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		Dist:            "gaussian",
+		Seed:            *seedFlag,
+		Queries:         queries,
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         workers,
+		TopNs:           topNs,
+		BatchSizes:      batchSizes,
+		IdenticalOutput: true,
+	}
+
+	for _, spec := range specs {
+		start := time.Now()
+		pts := workload.Points(workload.Gaussian, spec.n, spec.dim, *seedFlag+int64(spec.dim))
+		recs := make([]core.Record, spec.n)
+		for i, p := range pts {
+			recs[i] = core.Record{ID: uint64(i + 1), Vector: p}
+		}
+		ix, err := core.Build(recs, core.Options{Seed: *seedFlag, Parallelism: *parFlag})
+		if err != nil {
+			fatal(fmt.Errorf("build %dD n=%d: %w", spec.dim, spec.n, err))
+		}
+		fmt.Printf("--- %dD Gaussian, n=%d, %d layers (built in %v) ---\n",
+			spec.dim, spec.n, ix.NumLayers(), time.Since(start).Round(time.Millisecond))
+
+		ws := workload.QueryWeights(queries, spec.dim, *seedFlag+101)
+
+		// Equivalence gate before any stopwatch: all paths, all worker
+		// counts, both top-N depths.
+		for _, topn := range topNs {
+			if err := checkQueryEquivalence(ix, recs, ws, topn, workers); err != nil {
+				summary.IdenticalOutput = false
+				fatal(fmt.Errorf("%dD n=%d top-%d: %w", spec.dim, spec.n, topn, err))
+			}
+		}
+		fmt.Printf("  equivalence: columnar ≡ legacy ≡ batch ≡ brute force at workers %v\n", workers)
+
+		fmt.Printf("  %5s %8s | %-15s | %12s | %10s | %8s\n",
+			"topn", "workers", "mode", "ns/query", "records", "speedup")
+		for _, topn := range topNs {
+			for _, w := range workers {
+				ix.SetParallelism(w)
+
+				ix.DropSlabs()
+				ix.SetLayerPruning(false)
+				legacyNs, recAvg, _ := measureSolo(ix, ws, topn)
+				report := func(mode string, batch int, ns, rec, pruned float64) {
+					run := queryScalingRun{
+						Dim: spec.dim, N: spec.n, Layers: ix.NumLayers(),
+						TopN: topn, Mode: mode, Workers: w, Batch: batch,
+						NsPerQuery:       ns,
+						QueriesPerSec:    1e9 / ns,
+						RecordsEvaluated: rec,
+						LayersPruned:     pruned,
+					}
+					if mode != "legacy" {
+						run.SpeedupVsLegacy = legacyNs / ns
+					}
+					summary.Runs = append(summary.Runs, run)
+					sp := "       -"
+					if run.SpeedupVsLegacy > 0 {
+						sp = fmt.Sprintf("%7.2fx", run.SpeedupVsLegacy)
+					}
+					fmt.Printf("  %5d %8d | %-15s | %12.0f | %10.1f | %s\n",
+						topn, w, mode, ns, rec, sp)
+				}
+				report("legacy", 0, legacyNs, recAvg, 0)
+
+				ix.BuildSlabs()
+				colNs, colRec, _ := measureSolo(ix, ws, topn)
+				report("columnar", 0, colNs, colRec, 0)
+
+				ix.SetLayerPruning(true)
+				prNs, prRec, prPruned := measureSolo(ix, ws, topn)
+				report("columnar+prune", 0, prNs, prRec, prPruned)
+
+				for _, bs := range batchSizes {
+					bNs := measureBatch(ix, ws, topn, bs)
+					report(fmt.Sprintf("batch=%d", bs), bs, bNs, prRec, prPruned)
+				}
+			}
+		}
+		// Leave the index in the shipped configuration (harmless here,
+		// but keeps the loop honest if corpora are ever reused).
+		ix.BuildSlabs()
+		ix.SetLayerPruning(true)
+		fmt.Println()
+	}
+
+	summary.Headline = pickHeadline(summary.Runs)
+	if h := summary.Headline; h != nil {
+		fmt.Printf("headline (%dD, n=%d, top-%d, %d worker(s), %d CPU(s)): columnar %.2fx, +prune %.2fx, batch %.2fx vs legacy\n",
+			h.Dim, h.N, h.TopN, h.Workers, summary.NumCPU,
+			h.SpeedupColumnarVsLegacy, h.SpeedupPrunedVsLegacy, h.SpeedupBatchVsLegacy)
+	}
+
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("summary written to %s\n", outPath)
+}
+
+// pickHeadline selects the acceptance configuration: the largest 4D
+// corpus, one worker, smallest top-N measured.
+func pickHeadline(runs []queryScalingRun) *queryHeadline {
+	h := &queryHeadline{Workers: 1}
+	for _, r := range runs {
+		if r.Dim == 4 && r.N > h.N {
+			h.N = r.N
+		}
+	}
+	if h.N == 0 {
+		return nil
+	}
+	h.Dim = 4
+	h.TopN = math.MaxInt
+	for _, r := range runs {
+		if r.Dim == 4 && r.N == h.N && r.TopN < h.TopN {
+			h.TopN = r.TopN
+		}
+	}
+	bestBatch := 0.0
+	for _, r := range runs {
+		if r.Dim != h.Dim || r.N != h.N || r.TopN != h.TopN || r.Workers != 1 {
+			continue
+		}
+		switch r.Mode {
+		case "columnar":
+			h.SpeedupColumnarVsLegacy = r.SpeedupVsLegacy
+		case "columnar+prune":
+			h.SpeedupPrunedVsLegacy = r.SpeedupVsLegacy
+		default:
+			if r.Batch > 0 && r.SpeedupVsLegacy > bestBatch {
+				bestBatch = r.SpeedupVsLegacy
+			}
+		}
+	}
+	h.SpeedupBatchVsLegacy = bestBatch
+	return h
+}
+
+// measureSolo times ix.TopN over the query set, looping whole passes
+// until enough wall-clock has elapsed for a stable ns/query. The first
+// (untimed) pass warms caches and collects stats.
+func measureSolo(ix *core.Index, ws [][]float64, topn int) (nsPerQuery, recAvg, prunedAvg float64) {
+	for _, w := range ws {
+		_, st, err := ix.TopN(w, topn)
+		if err != nil {
+			fatal(err)
+		}
+		recAvg += float64(st.RecordsEvaluated)
+		prunedAvg += float64(st.LayersPruned)
+	}
+	recAvg /= float64(len(ws))
+	prunedAvg /= float64(len(ws))
+
+	done := 0
+	start := time.Now()
+	for time.Since(start) < 150*time.Millisecond {
+		for _, w := range ws {
+			if _, _, err := ix.TopN(w, topn); err != nil {
+				fatal(err)
+			}
+		}
+		done += len(ws)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(done), recAvg, prunedAvg
+}
+
+// measureBatch times TopNBatch with the query set carved into batches
+// of the given size (a trailing short batch is dropped — every timed
+// pass does identical work).
+func measureBatch(ix *core.Index, ws [][]float64, topn, batchSize int) float64 {
+	var batches [][][]float64
+	for i := 0; i+batchSize <= len(ws); i += batchSize {
+		batches = append(batches, ws[i:i+batchSize])
+	}
+	perPass := len(batches) * batchSize
+	runPass := func() {
+		for _, b := range batches {
+			if _, _, err := ix.TopNBatch(b, topn); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	runPass() // warm
+	done := 0
+	start := time.Now()
+	for time.Since(start) < 150*time.Millisecond {
+		runPass()
+		done += perPass
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(done)
+}
+
+// checkQueryEquivalence asserts that every scoring path returns
+// bit-identical results at every worker count, and that the legacy
+// reference agrees with a brute-force scan of the raw records.
+func checkQueryEquivalence(ix *core.Index, recs []core.Record, ws [][]float64, topn int, workers []int) error {
+	defer ix.SetParallelism(workers[0])
+	var ref [][]core.Result // reference: legacy at workers[0]
+	for wi, w := range workers {
+		ix.SetParallelism(w)
+
+		ix.DropSlabs()
+		ix.SetLayerPruning(false)
+		legacy := make([][]core.Result, len(ws))
+		for q, wt := range ws {
+			res, _, err := ix.TopN(wt, topn)
+			if err != nil {
+				return err
+			}
+			legacy[q] = res
+		}
+		if wi == 0 {
+			ref = legacy
+		}
+
+		ix.BuildSlabs()
+		for q, wt := range ws {
+			res, _, err := ix.TopN(wt, topn)
+			if err != nil {
+				return err
+			}
+			if !sameResults(ref[q], res) {
+				return fmt.Errorf("columnar diverges from legacy (query %d, workers=%d)", q, w)
+			}
+		}
+		ix.SetLayerPruning(true)
+		for q, wt := range ws {
+			res, _, err := ix.TopN(wt, topn)
+			if err != nil {
+				return err
+			}
+			if !sameResults(ref[q], res) {
+				return fmt.Errorf("columnar+prune diverges from legacy (query %d, workers=%d)", q, w)
+			}
+		}
+		batched, _, err := ix.TopNBatch(ws, topn)
+		if err != nil {
+			return err
+		}
+		for q := range ws {
+			if !sameResults(ref[q], batched[q]) {
+				return fmt.Errorf("batch driver diverges from legacy (query %d, workers=%d)", q, w)
+			}
+		}
+		for q := range legacy { // cross-worker determinism of the legacy walk itself
+			if !sameResults(ref[q], legacy[q]) {
+				return fmt.Errorf("legacy walk not deterministic across workers (query %d, workers=%d)", q, w)
+			}
+		}
+	}
+
+	// Brute-force oracle on a sample: scores recomputed with the same
+	// accumulation order the index uses, so equality is bitwise.
+	sample := len(ws)
+	if sample > 8 {
+		sample = 8
+	}
+	for q := 0; q < sample; q++ {
+		if err := checkBruteForce(recs, ws[q], topn, ref[q]); err != nil {
+			return fmt.Errorf("query %d: %w", q, err)
+		}
+	}
+	return nil
+}
+
+// checkBruteForce verifies one reference result list against a full
+// scan: the descending score sequence must match bitwise (ties can
+// permute IDs between equally-scored records, so IDs are checked by
+// recomputation instead of position).
+func checkBruteForce(recs []core.Record, w []float64, topn int, got []core.Result) error {
+	scores := make([]float64, len(recs))
+	byID := make(map[uint64]float64, len(recs))
+	for i, r := range recs {
+		var s float64
+		for j, wj := range w {
+			s += wj * r.Vector[j]
+		}
+		scores[i] = s
+		byID[r.ID] = s
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	want := topn
+	if want > len(recs) {
+		want = len(recs)
+	}
+	if len(got) != want {
+		return fmt.Errorf("brute force: %d results, want %d", len(got), want)
+	}
+	for i, r := range got {
+		if math.Float64bits(r.Score) != math.Float64bits(scores[i]) {
+			return fmt.Errorf("brute force: rank %d score %v, want %v", i, r.Score, scores[i])
+		}
+		if s, ok := byID[r.ID]; !ok || math.Float64bits(s) != math.Float64bits(r.Score) {
+			return fmt.Errorf("brute force: rank %d id %d does not score %v", i, r.ID, r.Score)
+		}
+	}
+	return nil
+}
+
+// sameResults compares two result lists bitwise (rank order, IDs,
+// score bits, layer of origin).
+func sameResults(a, b []core.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Layer != b[i].Layer ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return false
+		}
+	}
+	return true
+}

@@ -9,8 +9,9 @@
 //
 // Endpoints:
 //
-//	POST /v1/topn     {"weights":[...], "n":10}        → ranked results + stats
-//	POST /v1/search   {"weights":[...], "limit":0}     → NDJSON progressive stream
+//	POST /v1/topn       {"weights":[...], "n":10}          → ranked results + stats
+//	POST /v1/topn/batch {"weights":[[...],[...]], "n":10}  → many queries, one fused pass
+//	POST /v1/search     {"weights":[...], "limit":0}       → NDJSON progressive stream
 //	POST /v1/insert   {"records":[{"id":1,"vector":[...]}]}
 //	POST /v1/delete   {"ids":[1,2,3]}
 //	GET  /v1/metrics                                    → counters + latency quantiles
@@ -33,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // handlers are only reachable behind -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +63,7 @@ var (
 	dataDirFlag  = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints; mutations become durable and restarts recover the last published state")
 	fsyncFlag    = flag.String("fsync", "batch", "log flush policy with -data-dir: always (per record), batch (per group commit), off")
 	ckptFlag     = flag.Int64("checkpoint-bytes", 0, "log size that triggers an automatic checkpoint (0 = 64 MB, negative = never)")
+	pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 )
 
 func main() {
@@ -96,9 +99,22 @@ func main() {
 	}
 	srv.PublishVars("onionserve") // visible on /debug/vars too, if imported
 
+	handler := srv.Handler()
+	if *pprofFlag {
+		// Profiling endpoints are opt-in: they expose internals (heap
+		// contents, command line) no production query port should leak by
+		// default. The pprof package registers on DefaultServeMux at
+		// import; mount that mux under its canonical prefix next to the
+		// API routes.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		handler = mux
+		log.Print("pprof profiling enabled on /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addrFlag,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

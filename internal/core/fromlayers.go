@@ -43,25 +43,31 @@ func FromLayers(layers [][]Record, opt Options) (*Index, error) {
 		}
 		total += len(l)
 	}
-	var dim int
+	dim := len(layers[0][0].Vector)
+	if dim == 0 {
+		return nil, errors.New("core: zero-dimensional record")
+	}
 	ix := &Index{
+		dim:     dim,
 		pts:     make([][]float64, 0, total),
 		ids:     make([]uint64, 0, total),
 		layerOf: make([]int, 0, total),
 		posOf:   make(map[uint64]int, total),
 		tol:     opt.Tol,
 		seed:    opt.Seed,
+		workers: opt.Parallelism,
 	}
+	slabs := make([]layerSlab, 0, len(layers))
+	maxLayer := 0
 	for k, l := range layers {
+		// Each layer's vectors land in one contiguous row-major arena:
+		// the per-record pts views are sub-slices of it, so the columnar
+		// slab for this layer is the arena itself — the deserialize path
+		// gets slabs without a second copy.
+		arena := make([]float64, len(l)*dim)
+		slabIDs := make([]uint64, len(l))
 		positions := make([]int, len(l))
 		for i, r := range l {
-			if dim == 0 {
-				dim = len(r.Vector)
-				if dim == 0 {
-					return nil, errors.New("core: zero-dimensional record")
-				}
-				ix.dim = dim
-			}
 			if len(r.Vector) != dim {
 				return nil, fmt.Errorf("core: layer %d record %d has dimension %d, want %d", k+1, i, len(r.Vector), dim)
 			}
@@ -69,16 +75,23 @@ func FromLayers(layers [][]Record, opt Options) (*Index, error) {
 				return nil, fmt.Errorf("core: duplicate record ID %d", r.ID)
 			}
 			pos := len(ix.pts)
-			vec := make([]float64, dim)
+			vec := arena[i*dim : (i+1)*dim : (i+1)*dim]
 			copy(vec, r.Vector)
 			ix.pts = append(ix.pts, vec)
 			ix.ids = append(ix.ids, r.ID)
 			ix.layerOf = append(ix.layerOf, k)
 			ix.posOf[r.ID] = pos
 			positions[i] = pos
+			slabIDs[i] = r.ID
 		}
 		ix.layers = append(ix.layers, positions)
+		slabs = append(slabs, newLayerSlab(arena, slabIDs, positions, dim))
+		if len(l) > maxLayer {
+			maxLayer = len(l)
+		}
 	}
+	ix.slabs = slabs
+	ix.maxLayer = maxLayer
 	return ix, nil
 }
 

@@ -73,6 +73,12 @@ type Index struct {
 	workers int // parallelism bound (0 = one per CPU, 1 = sequential)
 	joggled bool
 	sorted  *sortedColumns // optional single-attribute fast path
+
+	// Columnar scoring layout (see slab.go). Derived, immutable state:
+	// built after construction, shared by clones, dropped on mutation.
+	slabs    []layerSlab
+	maxLayer int  // size of the largest layer when slabs are present
+	noPrune  bool // disables bound-based layer pruning (benchmarks/ablation)
 }
 
 // Build peels records into a layered convex hull. Record IDs must be
@@ -151,8 +157,21 @@ func Build(records []Record, opt Options) (*Index, error) {
 			opt.Progress(len(ix.layers), assigned, len(records))
 		}
 	}
+	ix.BuildSlabs()
 	return ix, nil
 }
+
+// SetLayerPruning toggles the bound-based layer pruning of the columnar
+// query path (Searcher.tryPrune). Pruning preserves results exactly,
+// but it changes the work statistics (RecordsEvaluated, LayersAccessed)
+// a query reports; benchmarks reproducing the paper's Table 1 turn it
+// off so the counts match the paper's unpruned evaluation procedure.
+// Not safe to call concurrently with running queries.
+func (ix *Index) SetLayerPruning(on bool) { ix.noPrune = !on }
+
+// LayerPruning reports whether bound-based layer pruning is enabled
+// (it still requires the columnar slabs to be present to take effect).
+func (ix *Index) LayerPruning() bool { return !ix.noPrune }
 
 func (ix *Index) appendLayer(positions []int) {
 	k := len(ix.layers)

@@ -267,9 +267,12 @@ func (ix *Index) Update(id uint64, vector []float64) error {
 }
 
 // alloc stores a record and returns its position. Any mutation
-// invalidates the optional sorted-column fast path.
+// invalidates the optional sorted-column fast path and the columnar
+// scoring slabs (both are derived from a layer partition this mutation
+// is about to change).
 func (ix *Index) alloc(rec Record) int {
 	ix.sorted = nil
+	ix.invalidateSlabs()
 	vec := make([]float64, len(rec.Vector))
 	copy(vec, rec.Vector)
 	var pos int
@@ -292,6 +295,7 @@ func (ix *Index) alloc(rec Record) int {
 // unalloc releases a position (used on insert failure and by Delete).
 func (ix *Index) unalloc(id uint64, pos int) {
 	ix.sorted = nil
+	ix.invalidateSlabs()
 	delete(ix.posOf, id)
 	ix.pts[pos] = nil
 	ix.layerOf[pos] = -1

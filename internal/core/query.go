@@ -26,6 +26,11 @@ type Stats struct {
 	RecordsEvaluated int
 	// LayersAccessed counts the layers read.
 	LayersAccessed int
+	// LayersPruned counts layers skipped by the bound-based pruning of
+	// the columnar path: once enough pending candidates beat a layer's
+	// score bound, that layer and every deeper one are provably unable
+	// to contribute and the walk stops without scoring them.
+	LayersPruned int
 }
 
 var errDim = errors.New("core: weight vector dimension mismatch")
@@ -117,11 +122,14 @@ type Searcher struct {
 	weights  []float64
 	remain   int  // results still to deliver; <0 means unbounded
 	k        int  // next layer to evaluate
-	started  bool // layer 0 processed
+	wnorm    float64 // ‖weights‖, computed at the first prune check
+	wnormSet bool
 	cand     topk.MaxHeap
 	emit     []Result // pending results in descending order
 	emitPos  int
-	scoreBuf []float64 // scratch for parallel layer scoring, reused per layer
+	scoreBuf []float64    // scratch for layer scoring, reused per layer
+	best     *topk.Bounded // reusable per-layer top-k collector
+	rankBuf  []topk.Item   // reusable sorted-layer scratch
 	stats    Stats
 	trace    func(TraceEvent) // optional step-by-step narration
 	ctx      context.Context  // optional cancellation; nil = never cancelled
@@ -155,22 +163,31 @@ func (s *Searcher) cancelled() bool {
 	return false
 }
 
-// NewSearcher prepares a progressive query. limit bounds the number of
+// NewSearcherChecked prepares a progressive query, reporting exactly
+// why a weight vector was rejected (wrong dimension, or a NaN/±Inf
+// component wrapping ErrNonFiniteWeight). limit bounds the number of
 // results; limit <= 0 deliberately streams the complete ranking (the
 // progressive contract: consume a prefix, abandon the rest — an
-// unbounded stream costs only what is read). It returns nil when the
-// weight vector is invalid: wrong dimension, or any NaN/±Inf component
-// (see ValidateWeights for a diagnosable error).
-func (ix *Index) NewSearcher(weights []float64, limit int) *Searcher {
-	if ValidateWeights(weights, ix.dim) != nil {
-		return nil
+// unbounded stream costs only what is read).
+func (ix *Index) NewSearcherChecked(weights []float64, limit int) (*Searcher, error) {
+	if err := ValidateWeights(weights, ix.dim); err != nil {
+		return nil, err
 	}
 	w := make([]float64, len(weights))
 	copy(w, weights)
 	if limit <= 0 {
 		limit = -1
 	}
-	return &Searcher{ix: ix, weights: w, remain: limit}
+	return &Searcher{ix: ix, weights: w, remain: limit}, nil
+}
+
+// NewSearcher is NewSearcherChecked minus the diagnosis: it returns nil
+// when the weight vector is invalid. Kept for callers that validate up
+// front; new code that can surface errors should prefer the checked
+// constructor so the reason is not lost.
+func (ix *Index) NewSearcher(weights []float64, limit int) *Searcher {
+	s, _ := ix.NewSearcherChecked(weights, limit)
+	return s
 }
 
 // Stats returns the work performed so far.
@@ -200,52 +217,143 @@ func (s *Searcher) Next() (Result, bool) {
 	return r, true
 }
 
+// popBuffered delivers one already-computed result without ever
+// advancing a layer — the hand-crank the batch driver uses to drain
+// each searcher's emit buffer between lockstep layer evaluations. It
+// performs exactly Next's delivery bookkeeping.
+func (s *Searcher) popBuffered() (Result, bool) {
+	if s.remain == 0 || s.emitPos >= len(s.emit) {
+		return Result{}, false
+	}
+	r := s.emit[s.emitPos]
+	s.emitPos++
+	if s.remain > 0 {
+		s.remain--
+	}
+	return r, true
+}
+
 // advance evaluates one more layer (or drains the candidate set once
-// layers are exhausted) and refills the emit buffer. It reports false
-// when nothing remains.
+// layers are exhausted or pruned away) and refills the emit buffer. It
+// reports false when nothing remains.
 func (s *Searcher) advance() bool {
+	ix := s.ix
+	if s.k >= len(ix.layers) {
+		return s.drainCandidates()
+	}
+	if s.tryPrune() {
+		return s.drainCandidates()
+	}
+	layer := ix.layers[s.k]
+	scores := s.layerScores(layer)
+	s.consumeLayer(layer, scores)
+	return true
+}
+
+// drainCandidates finalizes pending candidates once no deeper layer can
+// contribute: every remaining candidate is final, in heap order. Next
+// trims to the limit.
+func (s *Searcher) drainCandidates() bool {
 	s.emit = s.emit[:0]
 	s.emitPos = 0
-	ix := s.ix
+	for s.remain < 0 || len(s.emit) < s.remain {
+		it, ok := s.cand.Pop()
+		if !ok {
+			break
+		}
+		r := s.result(it)
+		s.emitTrace(TraceEvent{Kind: TraceDrained, Layer: -1, ID: r.ID, Score: r.Score})
+		s.emit = append(s.emit, r)
+	}
+	return len(s.emit) > 0
+}
 
-	if s.k >= len(ix.layers) {
-		// No deeper layers: every remaining candidate is final, in heap
-		// order. Emit them all; Next trims to the limit.
-		for s.remain < 0 || len(s.emit) < s.remain {
-			it, ok := s.cand.Pop()
-			if !ok {
+// tryPrune integrates the paper's Section 6 bound-based pruning
+// (internal/shells) into the core walk: when the searcher already holds
+// at least `remain` candidates whose scores strictly beat layer k's
+// score bound — which, by hull nesting, also bounds every deeper layer
+// — no unscored record can ever enter the remaining top results, so
+// the walk ends and the candidates drain in heap order. The strict
+// comparison is what keeps the output bit-identical to the unpruned
+// walk: at an exact tie the record-walk prefers the deeper layer's
+// record, so a tied bound must not prune. Reports whether it pruned
+// (s.k jumps past the last layer).
+func (s *Searcher) tryPrune() bool {
+	ix := s.ix
+	if s.remain <= 0 || ix.slabs == nil || ix.noPrune {
+		return false
+	}
+	if s.cand.Len() < s.remain {
+		return false
+	}
+	if !s.wnormSet {
+		var sq float64
+		for _, w := range s.weights {
+			sq += w * w
+		}
+		s.wnorm = math.Sqrt(sq)
+		s.wnormSet = true
+	}
+	bound := ix.slabs[s.k].scoreBound(s.weights, s.wnorm)
+	beat := 0
+	for _, it := range s.cand.Items() {
+		if it.Score > bound {
+			beat++
+			if beat >= s.remain {
 				break
 			}
-			r := s.result(it)
-			s.emitTrace(TraceEvent{Kind: TraceDrained, Layer: -1, ID: r.ID, Score: r.Score})
-			s.emit = append(s.emit, r)
 		}
-		return len(s.emit) > 0
 	}
+	if beat < s.remain {
+		return false
+	}
+	pruned := len(ix.layers) - s.k
+	s.emitTrace(TraceEvent{Kind: TraceLayersPruned, Layer: s.k, Score: bound, Evaluated: pruned})
+	s.stats.LayersPruned += pruned
+	s.k = len(ix.layers)
+	return true
+}
 
-	// Evaluate the next layer. The per-layer buffer keeps the best
-	// min(remaining, |layer|) records: anything weaker can never reach
-	// the final top-N because enough stronger records exist in this very
-	// layer. Unbounded searches keep the whole layer.
-	layer := ix.layers[s.k]
-	s.stats.LayersAccessed++
-	s.stats.RecordsEvaluated += len(layer)
-	cap := len(layer)
-	if s.remain > 0 && s.remain < cap {
-		cap = s.remain
-	}
-	best := topk.NewBounded(cap)
-	if workers := parallel.Workers(ix.workers); workers > 1 && len(layer) >= scoreParallelMin {
-		// Large layer: score on the worker pool. Each worker fills its
-		// own slice range; the heap then consumes the scores in layer
-		// order, exactly as the sequential loop would, so the selected
-		// top-k (ties included) is identical at any parallelism.
-		if len(s.scoreBuf) < len(layer) {
-			s.scoreBuf = make([]float64, len(layer))
+// ensureScoreBuf guarantees scratch for n scores, sized once at the
+// largest layer when the columnar layout is present so warm advances
+// never reallocate.
+func (s *Searcher) ensureScoreBuf(n int) []float64 {
+	if cap(s.scoreBuf) < n {
+		sz := n
+		if s.ix.slabs != nil && s.ix.maxLayer > sz {
+			sz = s.ix.maxLayer
 		}
-		scores := s.scoreBuf[:len(layer)]
+		s.scoreBuf = make([]float64, sz)
+	}
+	return s.scoreBuf[:n]
+}
+
+// layerScores fills the score scratch for the searcher's current layer:
+// a strided pass over the columnar slab when one exists, the legacy
+// record-walk over pts otherwise. Large layers are partitioned across
+// the worker pool by slab row range; each worker fills its own slots,
+// and the heap then consumes the scores in layer order, exactly as the
+// sequential loop would, so the selected top-k (ties included) is
+// identical at any parallelism.
+func (s *Searcher) layerScores(layer []int) []float64 {
+	ix := s.ix
+	n := len(layer)
+	scores := s.ensureScoreBuf(n)
+	workers := parallel.Workers(ix.workers)
+	if sl := ix.slab(s.k); sl != nil {
+		if workers > 1 && n >= scoreParallelMin {
+			w := s.weights
+			parallel.For(n, workers, scoreParallelMin, func(lo, hi int) {
+				scoreSlabRange(scores, sl.data, w, lo, hi)
+			})
+		} else {
+			scoreSlabRange(scores, sl.data, s.weights, 0, n)
+		}
+		return scores
+	}
+	if workers > 1 && n >= scoreParallelMin {
 		weights := s.weights
-		parallel.For(len(layer), workers, scoreParallelMin, func(lo, hi int) {
+		parallel.For(n, workers, scoreParallelMin, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := ix.pts[layer[i]]
 				var score float64
@@ -255,20 +363,59 @@ func (s *Searcher) advance() bool {
 				scores[i] = score
 			}
 		})
-		for i, p := range layer {
-			best.Offer(topk.Item{ID: p, Score: scores[i]})
-		}
 	} else {
-		for _, p := range layer {
+		for i, p := range layer {
 			v := ix.pts[p]
 			var score float64
 			for j, wj := range s.weights {
 				score += wj * v[j]
 			}
-			best.Offer(topk.Item{ID: p, Score: score})
+			scores[i] = score
 		}
 	}
-	t := best.Descending()
+	return scores
+}
+
+// consumeLayer folds one scored layer into the searcher's state: the
+// per-layer buffer keeps the best min(remaining, |layer|) records
+// (anything weaker can never reach the final top-N because enough
+// stronger records exist in this very layer; unbounded searches keep
+// the whole layer), outer candidates beating the layer maximum are
+// finalized, and the rest become candidates. scores[i] must be the
+// score of layer[i].
+func (s *Searcher) consumeLayer(layer []int, scores []float64) {
+	ix := s.ix
+	s.emit = s.emit[:0]
+	s.emitPos = 0
+	s.stats.LayersAccessed++
+	s.stats.RecordsEvaluated += len(layer)
+	keep := len(layer)
+	if s.remain > 0 && s.remain < keep {
+		keep = s.remain
+	}
+	if s.best == nil {
+		// Size the reusable collector once: no later layer can need more
+		// than min(current remaining, largest layer) slots, so on the
+		// columnar path (maxLayer known) warm advances never grow it.
+		hint := keep
+		if ix.slabs != nil {
+			hint = ix.maxLayer
+			if s.remain > 0 && s.remain < hint {
+				hint = s.remain
+			}
+		}
+		if hint < keep {
+			hint = keep
+		}
+		s.best = topk.NewBounded(hint)
+		s.rankBuf = make([]topk.Item, 0, hint)
+	}
+	s.best.ResetK(keep)
+	for i, p := range layer {
+		s.best.Offer(topk.Item{ID: p, Score: scores[i]})
+	}
+	s.rankBuf = s.best.DescendingInto(s.rankBuf[:0])
+	t := s.rankBuf
 	maxT := t[0].Score
 	s.emitTrace(TraceEvent{
 		Kind: TraceLayerEvaluated, Layer: s.k,
@@ -279,8 +426,7 @@ func (s *Searcher) advance() bool {
 	// finalized now: no deeper layer can exceed maxT (Corollary 1). The
 	// emission loop stops at the query limit: anything further stays a
 	// candidate (it would never be delivered).
-	room := func() bool { return s.remain < 0 || len(s.emit) < s.remain }
-	for room() {
+	for s.remain < 0 || len(s.emit) < s.remain {
 		c, ok := s.cand.Peek()
 		if !ok || c.Score <= maxT {
 			break
@@ -292,7 +438,7 @@ func (s *Searcher) advance() bool {
 	}
 	// This layer's maximum is final too; the rest become candidates.
 	rest := t
-	if room() {
+	if s.remain < 0 || len(s.emit) < s.remain {
 		r0 := s.result(t[0])
 		s.emitTrace(TraceEvent{Kind: TraceResultFromLayer, Layer: s.k, ID: r0.ID, Score: r0.Score})
 		s.emit = append(s.emit, r0)
@@ -303,7 +449,6 @@ func (s *Searcher) advance() bool {
 		s.cand.Push(it)
 	}
 	s.k++
-	return true
 }
 
 func (s *Searcher) result(it topk.Item) Result {

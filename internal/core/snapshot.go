@@ -27,6 +27,12 @@ func (ix *Index) Clone() *Index {
 		seed:    ix.seed,
 		workers: ix.workers,
 		joggled: ix.joggled,
+		// Slabs are immutable once built, so the clone shares them by
+		// reference; the first maintenance call on either side drops only
+		// that side's pointer (invalidateSlabs), leaving the other intact.
+		slabs:    ix.slabs,
+		maxLayer: ix.maxLayer,
+		noPrune:  ix.noPrune,
 	}
 	for k, l := range ix.layers {
 		cp.layers[k] = append([]int(nil), l...)

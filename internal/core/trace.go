@@ -25,6 +25,11 @@ const (
 	// TraceDrained fires when remaining candidates are finalized after
 	// the last layer.
 	TraceDrained
+	// TraceLayersPruned fires when the bound-based pruning of the
+	// columnar path ends the walk early: Layer is the first unvisited
+	// layer, Score its (sound) score bound, and Evaluated the number of
+	// layers skipped.
+	TraceLayersPruned
 )
 
 // String names the event kind.
@@ -40,6 +45,8 @@ func (k TraceKind) String() string {
 		return "result-from-layer"
 	case TraceDrained:
 		return "drained"
+	case TraceLayersPruned:
+		return "layers-pruned"
 	default:
 		return "unknown"
 	}

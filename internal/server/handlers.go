@@ -57,12 +57,35 @@ type ResultJSON struct {
 type StatsJSON struct {
 	RecordsEvaluated int `json:"records_evaluated"`
 	LayersAccessed   int `json:"layers_accessed"`
+	LayersPruned     int `json:"layers_pruned"`
+}
+
+func statsJSON(st core.Stats) StatsJSON {
+	return StatsJSON{
+		RecordsEvaluated: st.RecordsEvaluated,
+		LayersAccessed:   st.LayersAccessed,
+		LayersPruned:     st.LayersPruned,
+	}
 }
 
 // TopNResponse is the body of a successful POST /v1/topn.
 type TopNResponse struct {
 	Results []ResultJSON `json:"results"`
 	Stats   StatsJSON    `json:"stats"`
+}
+
+// TopNBatchRequest is the body of POST /v1/topn/batch: one n shared by
+// every query, matching the fused evaluation underneath.
+type TopNBatchRequest struct {
+	Weights [][]float64 `json:"weights"`
+	N       int         `json:"n"`
+}
+
+// TopNBatchResponse answers a batch positionally: Queries[i] holds the
+// results and stats of Weights[i], exactly as a solo /v1/topn would
+// have reported them.
+type TopNBatchResponse struct {
+	Queries []TopNResponse `json:"queries"`
 }
 
 // SearchTrailer is the final NDJSON line of a completed /v1/search
@@ -99,6 +122,7 @@ type ErrorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/topn", s.handleTopN)
+	mux.HandleFunc("POST /v1/topn/batch", s.handleTopNBatch)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	mux.HandleFunc("POST /v1/delete", s.handleDelete)
@@ -176,10 +200,13 @@ func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
 	n := s.clampLimit(req.N)
 	// The context-aware Searcher rather than Index.TopN, so a deadline
-	// or a dropped connection stops the layer walk mid-query.
-	sr := snap.NewSearcher(req.Weights, n)
-	if sr == nil {
-		writeErr(w, http.StatusBadRequest, "weight dimension %d, index dimension %d", len(req.Weights), snap.Dim())
+	// or a dropped connection stops the layer walk mid-query. The checked
+	// constructor re-validates against the snapshot actually queried: the
+	// gate above used an earlier Snapshot() load, and a concurrent swap
+	// could have changed the dimension in between.
+	sr, err := snap.NewSearcherChecked(req.Weights, n)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	sr.WithContext(ctx)
@@ -203,8 +230,62 @@ func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, TopNResponse{
 		Results: results,
-		Stats:   StatsJSON{RecordsEvaluated: st.RecordsEvaluated, LayersAccessed: st.LayersAccessed},
+		Stats:   statsJSON(st),
 	})
+}
+
+// handleTopNBatch answers B queries in one request through the fused
+// batch evaluator: every accessed layer's columnar slab is streamed
+// once for the whole batch. Per-query output is bit-identical to solo
+// /v1/topn calls. One invalid weight vector fails the entire request
+// (all-or-nothing, like a single query); the batch occupies a single
+// admission slot — it is one request's worth of work from the
+// scheduler's point of view, amortized though it is.
+func (s *Server) handleTopNBatch(w http.ResponseWriter, r *http.Request) {
+	var req TopNBatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.N <= 0 {
+		writeErr(w, http.StatusBadRequest, "n must be positive")
+		return
+	}
+	if len(req.Weights) == 0 {
+		writeErr(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	// Bound the batch fan-out like the admission cap bounds solo queries:
+	// a single request must not smuggle in unbounded work.
+	if maxQ := s.cfg.MaxInFlight; len(req.Weights) > maxQ {
+		writeErr(w, http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Weights), maxQ)
+		return
+	}
+	if !s.admit() {
+		writeErr(w, http.StatusTooManyRequests, "server at max in-flight queries")
+		return
+	}
+	defer s.release()
+
+	start := time.Now()
+	snap := s.Snapshot()
+	results, stats, err := snap.TopNBatch(req.Weights, s.clampLimit(req.N))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.batchRequests.Add(1)
+	s.metrics.batchQueries.Add(int64(len(req.Weights)))
+	resp := TopNBatchResponse{Queries: make([]TopNResponse, len(results))}
+	for q, res := range results {
+		rs := make([]ResultJSON, len(res))
+		for i, rr := range res {
+			rs[i] = ResultJSON{ID: rr.ID, Score: rr.Score, Layer: rr.Layer}
+		}
+		resp.Queries[q] = TopNResponse{Results: rs, Stats: statsJSON(stats[q])}
+		s.metrics.observeQuery(stats[q], 0, nil)
+	}
+	s.metrics.batchLatency.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSearch streams progressive retrieval as NDJSON: one ResultJSON
@@ -232,9 +313,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	snap := s.Snapshot()
 	limit := s.clampLimit(req.Limit)
-	sr := snap.NewSearcher(req.Weights, limit)
-	if sr == nil {
-		writeErr(w, http.StatusBadRequest, "weight dimension %d, index dimension %d", len(req.Weights), snap.Dim())
+	sr, err := snap.NewSearcherChecked(req.Weights, limit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	sr.WithContext(ctx)
@@ -272,7 +353,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// and the cap was actually what stopped the stream (more live records
 	// remained beyond the last emitted rank).
 	truncated := limit != req.Limit && emitted == limit && emitted < snap.Len()
-	enc.Encode(SearchTrailer{Done: true, Truncated: truncated, Stats: StatsJSON{RecordsEvaluated: st.RecordsEvaluated, LayersAccessed: st.LayersAccessed}})
+	enc.Encode(SearchTrailer{Done: true, Truncated: truncated, Stats: statsJSON(st)})
 	bw.Flush()
 }
 

@@ -26,6 +26,9 @@ type metrics struct {
 	searchCancelled  expvar.Int // streams abandoned by the client
 	recordsEvaluated expvar.Int // cumulative Stats.RecordsEvaluated
 	layersAccessed   expvar.Int // cumulative Stats.LayersAccessed
+	layersPruned     expvar.Int // cumulative Stats.LayersPruned (bound-based skips)
+	batchRequests    expvar.Int // /v1/topn/batch requests served
+	batchQueries     expvar.Int // individual queries inside those batches
 	mutationOps      expvar.Int // operations through the mutator
 	mutationErrors   expvar.Int // operations that failed validation
 	snapshotSwaps    expvar.Int // atomic pointer swaps published
@@ -35,6 +38,7 @@ type metrics struct {
 	walCommitErrors  expvar.Int // batches failed (and unpublished) by the WAL
 
 	topnLatency      *telemetry.Histogram
+	batchLatency     *telemetry.Histogram // whole-batch latency of /v1/topn/batch
 	searchLatency    *telemetry.Histogram
 	mutateLatency    *telemetry.Histogram
 	walCommitLatency *telemetry.Histogram // group-commit (append+fsync) time
@@ -45,6 +49,7 @@ type metrics struct {
 func newMetrics() *metrics {
 	m := &metrics{
 		topnLatency:      &telemetry.Histogram{},
+		batchLatency:     &telemetry.Histogram{},
 		searchLatency:    &telemetry.Histogram{},
 		mutateLatency:    &telemetry.Histogram{},
 		walCommitLatency: &telemetry.Histogram{},
@@ -57,6 +62,9 @@ func newMetrics() *metrics {
 	v.Set("search_cancelled", &m.searchCancelled)
 	v.Set("records_evaluated", &m.recordsEvaluated)
 	v.Set("layers_accessed", &m.layersAccessed)
+	v.Set("layers_pruned", &m.layersPruned)
+	v.Set("batch_requests", &m.batchRequests)
+	v.Set("batch_queries", &m.batchQueries)
 	v.Set("mutation_ops", &m.mutationOps)
 	v.Set("mutation_errors", &m.mutationErrors)
 	v.Set("snapshot_swaps", &m.snapshotSwaps)
@@ -65,6 +73,7 @@ func newMetrics() *metrics {
 	v.Set("wal_commits", &m.walCommits)
 	v.Set("wal_commit_errors", &m.walCommitErrors)
 	v.Set("topn_latency_ms", expvar.Func(func() any { return m.topnLatency.Summary() }))
+	v.Set("batch_latency_ms", expvar.Func(func() any { return m.batchLatency.Summary() }))
 	v.Set("search_latency_ms", expvar.Func(func() any { return m.searchLatency.Summary() }))
 	v.Set("rebuild_latency_ms", expvar.Func(func() any { return m.mutateLatency.Summary() }))
 	v.Set("wal_commit_latency_ms", expvar.Func(func() any { return m.walCommitLatency.Summary() }))
@@ -77,7 +86,10 @@ func (m *metrics) observeQuery(st core.Stats, d time.Duration, h *telemetry.Hist
 	m.queriesServed.Add(1)
 	m.recordsEvaluated.Add(int64(st.RecordsEvaluated))
 	m.layersAccessed.Add(int64(st.LayersAccessed))
-	h.Observe(d)
+	m.layersPruned.Add(int64(st.LayersPruned))
+	if h != nil { // batch queries time the whole batch, not each member
+		h.Observe(d)
+	}
 }
 
 // Vars exposes the metric map (for embedding servers and for tests).

@@ -244,6 +244,14 @@ func (s *Server) apply(batch []op) {
 			}
 		}
 	}
+	// Mutations invalidated the clone's columnar slabs; rebuild them off
+	// the query path so every published snapshot serves through the
+	// cache-friendly layout (queries would otherwise silently fall back
+	// to the record-walk until the next build). Part of the rebuild cost
+	// the mutation batch already amortizes.
+	if applied > 0 {
+		next.BuildSlabs()
+	}
 	// Durability barrier: the batch's surviving operations are logged
 	// and (per the manager's fsync mode) forced to stable storage in one
 	// group commit before the snapshot becomes visible. A failed commit

@@ -104,6 +104,10 @@ func TestWriteOpenFile(t *testing.T) {
 		t.Fatalf("len=%d dim=%d", di.Len(), di.Dim())
 	}
 	// Query through the file and compare against the in-memory index.
+	// The disk walker implements the paper's unpruned evaluation
+	// procedure, so turn off the core's bound-based layer pruning to
+	// make the work statistics comparable (results match either way).
+	ix.SetLayerPruning(false)
 	w := []float64{0.25, 0.25, 0.25, 0.25}
 	wantRes, wantStats, err := ix.TopN(w, 20)
 	if err != nil {

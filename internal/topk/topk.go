@@ -4,8 +4,6 @@
 // and the global candidate set.
 package topk
 
-import "sort"
-
 // Item is a scored record reference.
 type Item struct {
 	ID    int // caller-defined identifier (record index)
@@ -62,14 +60,78 @@ func (b *Bounded) Offer(it Item) bool {
 // consuming the collector's internal order (the collector remains usable
 // but unsorted invariants are restored).
 func (b *Bounded) Descending() []Item {
-	out := make([]Item, len(b.items))
-	copy(out, b.items)
-	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
-	return out
+	return b.DescendingInto(nil)
+}
+
+// DescendingInto is Descending with a caller-supplied destination: the
+// kept items are appended to dst (usually dst[:0] of a reused buffer)
+// and sorted by descending score, equal scores by ascending ID. It
+// allocates nothing when dst has capacity, which is what keeps the warm
+// columnar query path allocation-free (sort.Slice would cost two
+// reflection allocations per call); the explicit tie-break makes the
+// order a deterministic total order rather than whatever an unstable
+// sort leaves behind. Heapsort: the minimum under (score asc, ID desc)
+// repeatedly swaps to the shrinking tail, leaving the prefix in the
+// advertised order.
+func (b *Bounded) DescendingInto(dst []Item) []Item {
+	dst = append(dst, b.items...)
+	out := dst[len(dst)-len(b.items):]
+	// The copy is a min-heap on score alone; heapify under the full
+	// (score, ID) order before sorting — a score-only heap can violate
+	// the tie-broken heap property.
+	for i := len(out)/2 - 1; i >= 0; i-- {
+		siftDownItems(out, i)
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		out[0], out[i] = out[i], out[0]
+		siftDownItems(out[:i], 0)
+	}
+	return dst
+}
+
+// siftDownItems restores the itemLess min-heap property of items at i.
+func siftDownItems(items []Item, i int) {
+	n := len(items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && itemLess(items[l], items[m]) {
+			m = l
+		}
+		if r < n && itemLess(items[r], items[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		items[i], items[m] = items[m], items[i]
+		i = m
+	}
+}
+
+// itemLess is the inverse of the output order of DescendingInto: a
+// sorts before b when its score is lower, or at equal scores when its
+// ID is higher.
+func itemLess(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
 }
 
 // Reset empties the collector, retaining capacity.
 func (b *Bounded) Reset() { b.items = b.items[:0] }
+
+// ResetK empties the collector and changes its bound to k, retaining
+// the underlying capacity so a Searcher can reuse one collector across
+// layers whose per-layer bounds differ. k must be positive.
+func (b *Bounded) ResetK(k int) {
+	if k <= 0 {
+		panic("topk: ResetK with non-positive k")
+	}
+	b.k = k
+	b.items = b.items[:0]
+}
 
 func (b *Bounded) siftUp(i int) {
 	for i > 0 {
@@ -165,3 +227,9 @@ func (h *MaxHeap) Pop() (Item, bool) {
 
 // Reset empties the heap, retaining capacity.
 func (h *MaxHeap) Reset() { h.items = h.items[:0] }
+
+// Items exposes the heap's backing slice in unspecified (heap) order.
+// Callers must not modify it; it is valid until the next mutation. The
+// query processor scans it to count candidates that beat a layer's
+// score bound without disturbing the heap.
+func (h *MaxHeap) Items() []Item { return h.items }

@@ -50,8 +50,12 @@ type Result = core.Result
 
 // QueryStats reports the work a query performed: records evaluated and
 // layers accessed (the two quantities the paper's evaluation tables
-// track).
+// track), plus layers skipped by bound-based pruning.
 type QueryStats = core.Stats
+
+// ErrNonFiniteWeight is wrapped by query errors whose weight vector
+// carries a NaN or ±Inf component; test with errors.Is.
+var ErrNonFiniteWeight = core.ErrNonFiniteWeight
 
 // Options tunes index construction. The zero value is ready to use.
 type Options struct {
@@ -120,6 +124,16 @@ func (x *Index) TopNStats(weights []float64, n int) ([]Result, QueryStats, error
 	return x.ix.TopN(weights, n)
 }
 
+// TopNBatch answers many top-N queries in one fused pass over the
+// index: each layer's columnar slab is streamed through the cache once
+// for the whole batch instead of once per query, which is the cheap way
+// to serve concurrent query load. Results and stats are positional and
+// bit-identical to what per-query TopN calls would return. One invalid
+// weight vector fails the entire batch before any evaluation.
+func (x *Index) TopNBatch(weightsList [][]float64, n int) ([][]Result, []QueryStats, error) {
+	return x.ix.TopNBatch(weightsList, n)
+}
+
 // Minimize returns the n records with the smallest weighted sums (the
 // paper's sign-flip reduction to maximization). Scores in the results
 // are the original (un-negated) weighted sums, ascending.
@@ -159,7 +173,8 @@ func (x *Index) TopNInRanges(weights []float64, n int, ranges map[int][2]float64
 // the outermost layer and abandoning the stream early costs nothing
 // (paper Section 3.3). limit <= 0 streams the complete ranking.
 func (x *Index) Search(weights []float64, limit int) *Stream {
-	return &Stream{s: x.ix.NewSearcher(weights, limit)}
+	s, err := x.ix.NewSearcherChecked(weights, limit)
+	return &Stream{s: s, err: err}
 }
 
 // SearchContext is Search bound to a context: when ctx is cancelled or
@@ -167,11 +182,11 @@ func (x *Index) Search(weights []float64, limit int) *Stream {
 // layer and Stream.Err reports the cause. This is the query shape a
 // network server wants — an abandoned client stops costing work.
 func (x *Index) SearchContext(ctx context.Context, weights []float64, limit int) *Stream {
-	s := x.ix.NewSearcher(weights, limit)
+	s, err := x.ix.NewSearcherChecked(weights, limit)
 	if s != nil {
 		s.WithContext(ctx)
 	}
-	return &Stream{s: s}
+	return &Stream{s: s, err: err}
 }
 
 // Clone returns an independent deep copy of the index: maintenance on
@@ -283,6 +298,10 @@ type TraceEvent = core.TraceEvent
 // Stream is a progressive result iterator. See Index.Search.
 type Stream struct {
 	s *core.Searcher
+	// err records why the stream could not start (invalid weights); a
+	// dead stream returns no results and reports the reason through Err
+	// instead of silently yielding nothing.
+	err error
 }
 
 // Trace attaches a step-by-step evaluation callback to the stream and
@@ -311,11 +330,14 @@ func (st *Stream) Stats() QueryStats {
 	return st.s.Stats()
 }
 
-// Err returns the context error that stopped a SearchContext stream, or
-// nil when the stream ended by limit or exhaustion (or is still going).
+// Err returns the error that stopped the stream — the weight-validation
+// failure that prevented it from starting (wrapping ErrNonFiniteWeight
+// for NaN/Inf components), or the context error that cancelled a
+// SearchContext stream. It is nil when the stream ended by limit or
+// exhaustion (or is still going).
 func (st *Stream) Err() error {
 	if st.s == nil {
-		return nil
+		return st.err
 	}
 	return st.s.Err()
 }

@@ -36,7 +36,18 @@ go test -run='^$' -fuzz=FuzzTopNWeights -fuzztime=5s ./internal/core
 # not minutes; the committed BENCH_build.json is the full-size run.
 echo "== parallel build determinism smoke (onionbench -build-scaling)"
 smoke_out="$(mktemp)"
-trap 'rm -f "$smoke_out"' EXIT
+query_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$query_out"' EXIT
 go run ./cmd/onionbench -build-scaling -n 8000 -build-workers 1,4 -build-out "$smoke_out"
+
+# Query-path equivalence smoke: a small -query-scaling sweep
+# cross-checks every scoring path — legacy record walk, columnar slabs
+# (pruned and unpruned), and the fused batch driver — for bit-identical
+# top-N output (IDs, score bits, order) at worker counts 1 and 4, and
+# checks the reference itself against a brute-force scan. Any
+# divergence exits non-zero. The committed BENCH_query.json is the
+# full-size (100k-point) run of the same gate.
+echo "== query path equivalence smoke (onionbench -query-scaling)"
+go run ./cmd/onionbench -query-scaling -n 3000 -queries 32 -query-workers 1,4 -query-out "$query_out"
 
 echo "CI OK"
