@@ -1,0 +1,168 @@
+package onion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildCacheTestIndex(t *testing.T, n, dim int, seed int64) (*Index, []Record) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	for i := range recs {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		recs[i] = Record{ID: uint64(i + 1), Vector: v}
+	}
+	ix, err := Build(recs, Options{Seed: seed, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, recs
+}
+
+func sameResultsBits(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Layer != b[i].Layer ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestResultCacheBitIdentical drives the cached facade against an
+// uncached twin of the same index through repeated queries, prefix
+// requests, and interleaved mutations: every answer must match bitwise.
+func TestResultCacheBitIdentical(t *testing.T) {
+	cached, _ := buildCacheTestIndex(t, 600, 3, 7)
+	plain, _ := buildCacheTestIndex(t, 600, 3, 7)
+	cached.EnableResultCache(1 << 20)
+
+	rng := rand.New(rand.NewSource(99))
+	weightPool := make([][]float64, 5)
+	for i := range weightPool {
+		w := make([]float64, 3)
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		weightPool[i] = w
+	}
+
+	nextID := uint64(10_000)
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(10) {
+		case 0: // insert into both
+			v := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			nextID++
+			if err := cached.Insert(Record{ID: nextID, Vector: v}); err != nil {
+				t.Fatal(err)
+			}
+			if err := plain.Insert(Record{ID: nextID, Vector: v}); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // delete a known ID from both
+			id := uint64(rng.Intn(600) + 1)
+			errC := cached.Delete(id)
+			errP := plain.Delete(id)
+			if (errC == nil) != (errP == nil) {
+				t.Fatalf("step %d: delete divergence: %v vs %v", step, errC, errP)
+			}
+		default: // query: pooled weights so hits and prefix serving occur
+			w := weightPool[rng.Intn(len(weightPool))]
+			n := 1 + rng.Intn(20)
+			got, err := cached.TopN(w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := plain.TopN(w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResultsBits(got, want) {
+				t.Fatalf("step %d: cached result diverges at n=%d", step, n)
+			}
+		}
+	}
+	st := cached.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 || st.Invalidations == 0 {
+		t.Fatalf("workload did not exercise the cache: %+v", st)
+	}
+}
+
+// TestResultCacheCallerCannotPoison: mutating a slice returned by a
+// cached TopN must not corrupt later answers for the same key.
+func TestResultCacheCallerCannotPoison(t *testing.T) {
+	ix, _ := buildCacheTestIndex(t, 200, 2, 3)
+	ix.EnableResultCache(1 << 20)
+	w := []float64{1, 2}
+	first, err := ix.TopN(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]Result{}, first...)
+	for i := range first {
+		first[i] = Result{ID: 0, Score: -1, Layer: -1}
+	}
+	second, err := ix.TopN(w, 5) // served from cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResultsBits(second, want) {
+		t.Fatal("cached entry was poisoned through a returned slice")
+	}
+	if ix.CacheStats().Hits == 0 {
+		t.Fatal("second query should have hit")
+	}
+}
+
+// TestResultCacheTieCorpusPrefixStable engineers exact score ties
+// (duplicated coordinates on a small grid) and checks that prefix
+// serving off a deep cached entry matches the direct computation — the
+// property the tie-break-stable topk order exists to provide.
+func TestResultCacheTieCorpusPrefixStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	recs := make([]Record, 300)
+	for i := range recs {
+		// Coordinates drawn from {0,1,2,3}: many records share exact
+		// scores under small-integer weights.
+		recs[i] = Record{ID: uint64(i + 1), Vector: []float64{
+			float64(rng.Intn(4)), float64(rng.Intn(4)),
+		}}
+	}
+	cached, err := Build(recs, Options{Seed: 5, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Build(recs, Options{Seed: 5, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.EnableResultCache(1 << 20)
+	for _, w := range [][]float64{{1, 1}, {2, 1}, {1, 0}, {0, 1}, {1, -1}} {
+		// Deep query first so the entry is installed at K=60...
+		if _, err := cached.TopN(w, 60); err != nil {
+			t.Fatal(err)
+		}
+		// ...then every shallower n must be served as its exact prefix.
+		for n := 1; n <= 60; n += 7 {
+			got, err := cached.TopN(w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := plain.TopN(w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResultsBits(got, want) {
+				t.Fatalf("weights %v n=%d: prefix-served result diverges", w, n)
+			}
+		}
+	}
+}

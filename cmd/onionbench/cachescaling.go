@@ -1,0 +1,298 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// onionbench -cache-scaling: the weight-keyed result cache under a
+// skewed workload.
+//
+// Interactive ranking traffic repeats preference vectors: a storefront
+// has a handful of popular sort orders, a dashboard re-issues the same
+// scoring model on every refresh. This mode models that with a zipfian
+// (s≈1.1) draw over a pool of distinct weight vectors against the
+// committed acceptance corpus (100k×4D Gaussian by default; -n/-queries
+// override) and measures the cached query path of internal/cache
+// against the uncached columnar walk it fronts.
+//
+// Before any stopwatch, every pool weight is gated at every measured
+// top-N: the cached path (including prefix serving off deeper entries
+// and re-computation after an epoch invalidation) must return results
+// bit-identical to the uncached walk, and a sample is checked against a
+// brute-force scan of the raw records. Any divergence exits non-zero —
+// scripts/ci.sh runs a small sweep as a regression gate on exactly this
+// property.
+//
+// The summary lands in -cache-out (BENCH_cache.json). The headline is
+// the committed acceptance number: cached vs uncached ns/query at the
+// smallest top-N, with hit/miss/coalesce counts alongside.
+
+// cacheScalingRun is one measured top-N depth.
+type cacheScalingRun struct {
+	TopN               int     `json:"topn"`
+	UncachedNsPerQuery float64 `json:"uncached_ns_per_query"`
+	CachedNsPerQuery   float64 `json:"cached_ns_per_query"`
+	SpeedupHitPath     float64 `json:"speedup_hit_path"`
+	Hits               int64   `json:"hits"`
+	Misses             int64   `json:"misses"`
+	HitRate            float64 `json:"hit_rate"`
+	CacheBytes         int64   `json:"cache_bytes_used"`
+	Evictions          int64   `json:"evictions"`
+}
+
+// cacheScalingSummary is the BENCH_cache.json schema.
+type cacheScalingSummary struct {
+	Kind            string            `json:"kind"`
+	Generated       string            `json:"generated"`
+	Dist            string            `json:"dist"`
+	Seed            int64             `json:"seed"`
+	N               int               `json:"n"`
+	Dim             int               `json:"dim"`
+	Layers          int               `json:"layers"`
+	PoolSize        int               `json:"pool_size"`
+	ZipfS           float64           `json:"zipf_s"`
+	Queries         int               `json:"queries"`
+	NumCPU          int               `json:"num_cpu"`
+	GOMAXPROCS      int               `json:"gomaxprocs"`
+	CacheBudget     int64             `json:"cache_budget_bytes"`
+	IdenticalOutput bool              `json:"identical_output"`
+	Runs            []cacheScalingRun `json:"runs"`
+	// Coalescing phase: concurrent identical misses against a cold cache.
+	CoalesceClients int            `json:"coalesce_clients"`
+	CoalesceRounds  int            `json:"coalesce_rounds"`
+	Coalesced       int64          `json:"coalesced"`
+	CoalesceMisses  int64          `json:"coalesce_misses"`
+	Headline        *cacheHeadline `json:"headline,omitempty"`
+}
+
+// cacheHeadline is the acceptance number: hit-path speedup at the
+// smallest measured top-N on the zipfian workload.
+type cacheHeadline struct {
+	TopN           int     `json:"topn"`
+	SpeedupHitPath float64 `json:"speedup_hit_path"`
+	HitRate        float64 `json:"hit_rate"`
+}
+
+const cacheBudget = int64(64) << 20 // generous: evictions must not distort the hit-path timing
+
+func cacheScaling(n, queries int, outPath string) {
+	const (
+		dim      = 4
+		poolSize = 64
+		zipfS    = 1.1
+	)
+	topNs := []int{10, 100}
+	if queries < 64 {
+		queries = 64
+	}
+
+	start := time.Now()
+	pts := workload.Points(workload.Gaussian, n, dim, *seedFlag+int64(dim))
+	recs := make([]core.Record, n)
+	for i, p := range pts {
+		recs[i] = core.Record{ID: uint64(i + 1), Vector: p}
+	}
+	ix, err := core.Build(recs, core.Options{Seed: *seedFlag, Parallelism: *parFlag})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("=== cache scaling: %dD Gaussian, n=%d, %d layers (built in %v) ===\n",
+		dim, n, ix.NumLayers(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("host: %d CPU(s), GOMAXPROCS=%d; pool=%d weights, zipf s=%.2f, %d draws\n\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), poolSize, zipfS, queries)
+
+	pool := workload.QueryWeights(poolSize, dim, *seedFlag+211)
+	zrng := rand.New(rand.NewSource(*seedFlag + 7))
+	zipf := rand.NewZipf(zrng, zipfS, 1, uint64(poolSize-1))
+	seq := make([]int, queries)
+	for i := range seq {
+		seq[i] = int(zipf.Uint64())
+	}
+
+	// cachedTopN is the measured cached path: canonical key, epoch read,
+	// GetOrCompute falling through to the uncached walk on a miss — the
+	// same shape the server's /v1/topn handler uses.
+	cachedTopN := func(c *cache.Cache, w []float64, topn int) []core.Result {
+		res, _, _, err := c.GetOrCompute(core.WeightKey(w), topn, c.Epoch(),
+			func() ([]core.Result, core.Stats, error) {
+				r, st, err := ix.TopN(w, topn)
+				return r, st, err
+			})
+		if err != nil {
+			fatal(err)
+		}
+		return res
+	}
+
+	// Equivalence gate before any stopwatch. Deliberately one shared
+	// cache across both depths, deep first: the topn=10 pass is then
+	// served as a prefix of the topn=100 entries — the exact serving mode
+	// the timing below leans on. After the sweep, an invalidation forces
+	// recomputation; answers must still be bit-identical.
+	gate := cache.New(cacheBudget, 0)
+	for pass := 0; pass < 2; pass++ {
+		for _, topn := range []int{100, 10} {
+			for qi, w := range pool {
+				want, _, err := ix.TopN(w, topn)
+				if err != nil {
+					fatal(err)
+				}
+				if got := cachedTopN(gate, w, topn); !sameResults(want, got) {
+					fatal(fmt.Errorf("cache gate: cached result diverges from uncached (weights %d, top-%d, pass %d)", qi, topn, pass))
+				}
+				if pass == 0 && topn == 100 && qi < 8 {
+					if err := checkBruteForce(recs, w, topn, want); err != nil {
+						fatal(fmt.Errorf("cache gate: weights %d: %w", qi, err))
+					}
+				}
+			}
+		}
+		gate.Invalidate() // pass 1 re-runs the sweep against a cold epoch
+	}
+	gct := gate.Counters()
+	fmt.Printf("equivalence: cached ≡ uncached ≡ brute force across pool, prefix serving and invalidation (%d hits, %d misses)\n\n",
+		gct.Hits, gct.Misses)
+
+	summary := cacheScalingSummary{
+		Kind:            "onion-cache-scaling",
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		Dist:            "gaussian",
+		Seed:            *seedFlag,
+		N:               n,
+		Dim:             dim,
+		Layers:          ix.NumLayers(),
+		PoolSize:        poolSize,
+		ZipfS:           zipfS,
+		Queries:         queries,
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		CacheBudget:     cacheBudget,
+		IdenticalOutput: true,
+	}
+
+	fmt.Printf("  %5s | %14s | %14s | %8s | %8s\n", "topn", "uncached ns/q", "cached ns/q", "speedup", "hit rate")
+	for _, topn := range topNs {
+		// Uncached baseline: the zipfian sequence straight down the
+		// columnar walk.
+		for _, qi := range seq { // warm
+			if _, _, err := ix.TopN(pool[qi], topn); err != nil {
+				fatal(err)
+			}
+		}
+		done := 0
+		t0 := time.Now()
+		for time.Since(t0) < 150*time.Millisecond {
+			for _, qi := range seq {
+				if _, _, err := ix.TopN(pool[qi], topn); err != nil {
+					fatal(err)
+				}
+			}
+			done += len(seq)
+		}
+		uncachedNs := float64(time.Since(t0).Nanoseconds()) / float64(done)
+
+		// Cached path: one cold pass installs the entries, then the timed
+		// passes measure the steady state the skewed workload lives in.
+		c := cache.New(cacheBudget, 0)
+		for _, qi := range seq {
+			cachedTopN(c, pool[qi], topn)
+		}
+		done = 0
+		t0 = time.Now()
+		for time.Since(t0) < 150*time.Millisecond {
+			for _, qi := range seq {
+				cachedTopN(c, pool[qi], topn)
+			}
+			done += len(seq)
+		}
+		cachedNs := float64(time.Since(t0).Nanoseconds()) / float64(done)
+
+		ct := c.Counters()
+		run := cacheScalingRun{
+			TopN:               topn,
+			UncachedNsPerQuery: uncachedNs,
+			CachedNsPerQuery:   cachedNs,
+			SpeedupHitPath:     uncachedNs / cachedNs,
+			Hits:               ct.Hits,
+			Misses:             ct.Misses,
+			HitRate:            float64(ct.Hits) / float64(ct.Hits+ct.Misses),
+			CacheBytes:         ct.Bytes,
+			Evictions:          ct.Evictions,
+		}
+		summary.Runs = append(summary.Runs, run)
+		fmt.Printf("  %5d | %14.0f | %14.0f | %7.1fx | %7.3f%%\n",
+			topn, uncachedNs, cachedNs, run.SpeedupHitPath, 100*run.HitRate)
+	}
+
+	// Coalescing phase: clients race identical queries against a cold
+	// cache; singleflight should hand most of them the leader's result.
+	// Rounds repeat with an invalidation in between (each round is one
+	// cold key). The leader's compute yields once on entry: on a
+	// single-CPU host a sub-millisecond walk is never preempted, so
+	// without the yield the followers would only ever run after the entry
+	// is installed and the flight they should join would be unobservable.
+	clients, rounds := 8, 32
+	cc := cache.New(cacheBudget, 0)
+	for r := 0; r < rounds; r++ {
+		w := pool[r%poolSize]
+		key := core.WeightKey(w)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				_, _, _, err := cc.GetOrCompute(key, 100, cc.Epoch(),
+					func() ([]core.Result, core.Stats, error) {
+						runtime.Gosched()
+						r, st, err := ix.TopN(w, 100)
+						return r, st, err
+					})
+				if err != nil {
+					fatal(err)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		cc.Invalidate()
+	}
+	cct := cc.Counters()
+	summary.CoalesceClients = clients
+	summary.CoalesceRounds = rounds
+	summary.Coalesced = cct.Coalesced
+	summary.CoalesceMisses = cct.Misses
+	fmt.Printf("\ncoalescing: %d clients × %d cold rounds → %d misses (layer walks), %d coalesced, %d hits\n",
+		clients, rounds, cct.Misses, cct.Coalesced, cct.Hits)
+
+	if len(summary.Runs) > 0 {
+		first := summary.Runs[0]
+		summary.Headline = &cacheHeadline{
+			TopN:           first.TopN,
+			SpeedupHitPath: first.SpeedupHitPath,
+			HitRate:        first.HitRate,
+		}
+		fmt.Printf("headline (top-%d, zipf s=%.2f over %d weights): cache hit path %.1fx vs uncached columnar\n",
+			first.TopN, zipfS, poolSize, first.SpeedupHitPath)
+	}
+
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("summary written to %s\n", outPath)
+}

@@ -53,6 +53,9 @@ var (
 	queryWorkersFlag = flag.String("query-workers", "1,4", "query-scaling: comma-separated worker counts to sweep and cross-check")
 	queryOutFlag     = flag.String("query-out", "BENCH_query.json", "query-scaling: summary JSON output path")
 
+	cacheScalingFlag = flag.Bool("cache-scaling", false, "measure the weight-keyed result cache on a zipfian workload instead of running experiments; gates on cached ≡ uncached ≡ brute force, emits -cache-out JSON")
+	cacheOutFlag     = flag.String("cache-out", "BENCH_cache.json", "cache-scaling: summary JSON output path")
+
 	serveLoadFlag = flag.String("serve-load", "", "load-test a query server instead of running experiments: a base URL like http://host:8080, or 'self' to serve a synthetic corpus in-process")
 	serveConcFlag = flag.Int("serve-conc", 16, "serve-load: concurrent clients")
 	serveDurFlag  = flag.Duration("serve-dur", 10*time.Second, "serve-load: measurement duration")
@@ -108,6 +111,22 @@ func main() {
 			}
 		})
 		queryScaling(qn, qq, *queryWorkersFlag, *queryOutFlag)
+		return
+	}
+	if *cacheScalingFlag {
+		// Same convention as the other scaling modes: the committed
+		// baseline is the 100k×4D acceptance corpus with a fixed number of
+		// zipfian draws; -n/-queries override for CI smokes and deep runs.
+		cn, cq := 100_000, 512
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n":
+				cn = n
+			case "queries":
+				cq = queries
+			}
+		})
+		cacheScaling(cn, cq, *cacheOutFlag)
 		return
 	}
 	if *serveLoadFlag != "" {

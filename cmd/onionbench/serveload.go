@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -34,6 +35,8 @@ type serveLoadReport struct {
 	Dim         int     `json:"dim"`
 	Records     int     `json:"records"` // live records reported by healthz
 	Layers      int     `json:"layers"`
+	NumCPU      int     `json:"num_cpu"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Concurrency int     `json:"concurrency"`
 	DurationS   float64 `json:"duration_s"`
 	TopN        int     `json:"topn"`
@@ -163,6 +166,8 @@ func serveLoad(target string, n, conc int, dur time.Duration, topn int, outPath 
 		Dim:         health.Dim,
 		Records:     health.Records,
 		Layers:      health.Layers,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Concurrency: conc,
 		DurationS:   elapsed.Seconds(),
 		TopN:        topn,

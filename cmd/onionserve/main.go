@@ -64,6 +64,8 @@ var (
 	fsyncFlag    = flag.String("fsync", "batch", "log flush policy with -data-dir: always (per record), batch (per group commit), off")
 	ckptFlag     = flag.Int64("checkpoint-bytes", 0, "log size that triggers an automatic checkpoint (0 = 64 MB, negative = never)")
 	pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+	cacheFlag    = flag.Int64("cache-bytes", 0, "byte budget of the weight-keyed top-N result cache (0 = disabled)")
+	cShardsFlag  = flag.Int("cache-shards", 0, "lock shards of the result cache (0 = 8)")
 )
 
 func main() {
@@ -86,6 +88,8 @@ func main() {
 		MaxBatchOps:  *batchFlag,
 		QueryTimeout: *timeoutFlag,
 		MaxResults:   *resultsFlag,
+		CacheBytes:   *cacheFlag,
+		CacheShards:  *cShardsFlag,
 	}
 	if mgr != nil {
 		// Assign only when a manager exists: a nil *wal.Manager stored in

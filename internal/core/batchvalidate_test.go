@@ -1,0 +1,52 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTopNBatchValidatesBeforeScoring: TopNBatch must reject any
+// malformed weight vector — wrong dimension, NaN, ±Inf — before scoring
+// a single record (all-or-nothing), wrapping ErrNonFiniteWeight for the
+// non-finite class and naming the offending query's position.
+func TestTopNBatchValidatesBeforeScoring(t *testing.T) {
+	recs := []Record{
+		{ID: 1, Vector: []float64{1, 2}},
+		{ID: 2, Vector: []float64{3, 0}},
+		{ID: 3, Vector: []float64{-1, 1}},
+	}
+	ix, err := Build(recs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []float64{1, 1}
+	for _, tc := range []struct {
+		name      string
+		bad       []float64
+		nonFinite bool
+	}{
+		{"nan", []float64{math.NaN(), 1}, true},
+		{"pos inf", []float64{1, math.Inf(1)}, true},
+		{"neg inf", []float64{math.Inf(-1), 0}, true},
+		{"short", []float64{1}, false},
+		{"long", []float64{1, 2, 3}, false},
+		{"nil", nil, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// The bad vector sits at position 1 behind a valid query: the
+			// whole batch must fail, and the error must say where.
+			_, _, err := ix.TopNBatch([][]float64{good, tc.bad}, 2)
+			if err == nil {
+				t.Fatal("batch with malformed query accepted")
+			}
+			if got := errors.Is(err, ErrNonFiniteWeight); got != tc.nonFinite {
+				t.Fatalf("errors.Is(err, ErrNonFiniteWeight) = %v, want %v (err: %v)", got, tc.nonFinite, err)
+			}
+			if !strings.Contains(err.Error(), "batch query 1") {
+				t.Fatalf("error %q does not name the offending query", err)
+			}
+		})
+	}
+}

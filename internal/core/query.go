@@ -120,14 +120,14 @@ func (ix *Index) TopN(weights []float64, n int) ([]Result, Stats, error) {
 type Searcher struct {
 	ix       *Index
 	weights  []float64
-	remain   int  // results still to deliver; <0 means unbounded
-	k        int  // next layer to evaluate
+	remain   int     // results still to deliver; <0 means unbounded
+	k        int     // next layer to evaluate
 	wnorm    float64 // ‖weights‖, computed at the first prune check
 	wnormSet bool
 	cand     topk.MaxHeap
 	emit     []Result // pending results in descending order
 	emitPos  int
-	scoreBuf []float64    // scratch for layer scoring, reused per layer
+	scoreBuf []float64     // scratch for layer scoring, reused per layer
 	best     *topk.Bounded // reusable per-layer top-k collector
 	rankBuf  []topk.Item   // reusable sorted-layer scratch
 	stats    Stats

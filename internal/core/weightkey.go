@@ -1,0 +1,34 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// WeightKey returns a canonical cache key for a query weight vector:
+// the exact IEEE-754 bits of each component, little-endian, in order.
+// Two weight vectors map to the same key if and only if every component
+// is bit-identical — which is exactly the condition under which the
+// (deterministic) query walk produces bit-identical results, so keying
+// a result cache on it can never conflate queries that would answer
+// differently.
+//
+// Deliberately NOT canonicalized:
+//
+//   - -0.0 vs +0.0: the sign of zero survives multiplication, so the
+//     two can produce different score bits (e.g. -0.0*x = -0.0 but
+//     +0.0*x = +0.0, and -0.0 + -0.0 = -0.0). Folding them would let a
+//     cached result differ bitwise from a recomputation.
+//   - NaN payloads: NaN weights never reach a cache — ValidateWeights
+//     rejects them at every query ingress — so no folding is needed.
+//
+// The key length is 8 bytes per component, so the dimension is encoded
+// implicitly: vectors of different dimensions can never collide (Go
+// string equality compares length first).
+func WeightKey(weights []float64) string {
+	buf := make([]byte, 8*len(weights))
+	for i, w := range weights {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(w))
+	}
+	return string(buf)
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightKeyEqualityMatchesBits(t *testing.T) {
+	a := []float64{1.5, -2.25, 0}
+	b := []float64{1.5, -2.25, 0}
+	if WeightKey(a) != WeightKey(b) {
+		t.Error("bit-identical vectors produced different keys")
+	}
+	c := []float64{1.5, -2.25, 1e-300}
+	if WeightKey(a) == WeightKey(c) {
+		t.Error("different vectors produced the same key")
+	}
+}
+
+func TestWeightKeyDimensionDistinct(t *testing.T) {
+	// A shorter vector must never collide with a longer one that starts
+	// with the same components (length is part of string equality).
+	if WeightKey([]float64{1}) == WeightKey([]float64{1, 0}) {
+		t.Error("keys of different dimensions collided")
+	}
+	if len(WeightKey([]float64{1, 2, 3})) != 24 {
+		t.Errorf("key length = %d, want 24", len(WeightKey([]float64{1, 2, 3})))
+	}
+	if WeightKey(nil) != "" {
+		t.Error("empty vector should map to the empty key")
+	}
+}
+
+func TestWeightKeyPreservesSignOfZero(t *testing.T) {
+	// -0.0 and +0.0 compare equal as floats but can yield different
+	// score bits; the key must keep them distinct.
+	neg := math.Copysign(0, -1)
+	if WeightKey([]float64{neg}) == WeightKey([]float64{0}) {
+		t.Error("-0.0 and +0.0 folded to one key")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -72,6 +73,49 @@ func TestTopNBatchBadRequests(t *testing.T) {
 	}
 }
 
+// TestTopNBatchErrorBodies pins the shape of batch failures: every
+// client error is HTTP 400 (never a 500) carrying a typed JSON
+// ErrorResponse, and per-query validation failures name the offending
+// query's position. Raw JSON bodies are used so malformed payloads
+// (out-of-range float literals standing in for non-finite weights) can
+// be exercised end to end.
+func TestTopNBatchErrorBodies(t *testing.T) {
+	_, ts := newTestServer(t, 100, 2, Config{})
+	for _, tc := range []struct {
+		name    string
+		body    string
+		errWant string // substring the typed error must contain
+	}{
+		{"empty batch", `{"weights":[],"n":5}`, "no queries"},
+		{"zero n", `{"weights":[[1,2]]}`, "n must be positive"},
+		{"dim mismatch names query", `{"weights":[[1,2],[1]],"n":5}`, "batch query 1"},
+		{"non-finite literal", `{"weights":[[1,1e999]],"n":5}`, "bad request body"},
+		{"malformed json", `{"weights":[[1,2],"n":5}`, "bad request body"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/topn/batch", "application/json",
+				strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type %q, want application/json", ct)
+			}
+			var body ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body is not a typed ErrorResponse: %v", err)
+			}
+			if body.Error == "" || !strings.Contains(body.Error, tc.errWant) {
+				t.Fatalf("error %q does not mention %q", body.Error, tc.errWant)
+			}
+		})
+	}
+}
+
 // TestBatchQueriesDuringSnapshotSwaps is the -race stress of the batch
 // read path: query goroutines continuously run TopNBatch against
 // whatever snapshot is current while the mutator applies insert/delete
@@ -96,7 +140,7 @@ func TestBatchQueriesDuringSnapshotSwaps(t *testing.T) {
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			recs := []core.Record{
-				{ID: id, Vector: []float64{float64(i%7) - 3, float64(i%5) - 2, float64(i%3)}},
+				{ID: id, Vector: []float64{float64(i%7) - 3, float64(i%5) - 2, float64(i % 3)}},
 				{ID: id + 1, Vector: []float64{float64(i%4) - 2, float64(i%9) - 4, 1}},
 			}
 			if err := s.Insert(ctx, recs); err != nil {

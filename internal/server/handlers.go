@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 )
 
@@ -197,41 +198,88 @@ func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
+	// Epoch before snapshot: paired with apply's store-then-bump, this
+	// order makes it impossible for a result computed against a pre-swap
+	// snapshot to be cached under the post-swap epoch (cache package
+	// comment has the full argument). Harmless when the cache is off
+	// (epoch stays 0).
+	epoch := s.cache.Epoch()
 	snap := s.Snapshot()
 	n := s.clampLimit(req.N)
-	// The context-aware Searcher rather than Index.TopN, so a deadline
-	// or a dropped connection stops the layer walk mid-query. The checked
-	// constructor re-validates against the snapshot actually queried: the
-	// gate above used an earlier Snapshot() load, and a concurrent swap
-	// could have changed the dimension in between.
-	sr, err := snap.NewSearcherChecked(req.Weights, n)
+	var (
+		results []core.Result
+		st      core.Stats
+		outcome = cache.Miss
+		err     error
+	)
+	if s.cache != nil {
+		results, st, outcome, err = s.cache.GetOrCompute(core.WeightKey(req.Weights), n, epoch,
+			func() ([]core.Result, core.Stats, error) {
+				return computeTopN(ctx, snap, req.Weights, n)
+			})
+	} else {
+		results, st, err = computeTopN(ctx, snap, req.Weights, n)
+	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.observeQuery(st, time.Since(start), s.metrics.topnLatency)
+			s.metrics.queriesTimeout.Add(1)
+			writeErr(w, http.StatusServiceUnavailable, "query stopped: %v", err)
+		} else {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		}
 		return
+	}
+	// Work counters report evaluation this request actually performed: a
+	// hit (or a ride on another request's computation) evaluated nothing.
+	// The response stats, by contrast, describe the computation that
+	// produced the results — for a prefix-served hit, the original
+	// (possibly deeper) walk.
+	obsSt := st
+	if outcome != cache.Miss {
+		obsSt = core.Stats{}
+	}
+	s.metrics.observeQuery(obsSt, time.Since(start), s.metrics.topnLatency)
+	rs := make([]ResultJSON, len(results))
+	for i, res := range results {
+		rs[i] = ResultJSON{ID: res.ID, Score: res.Score, Layer: res.Layer}
+	}
+	writeJSON(w, http.StatusOK, TopNResponse{
+		Results: rs,
+		Stats:   statsJSON(st),
+	})
+}
+
+// computeTopN is the uncached /v1/topn evaluation, shared verbatim by
+// the cache-miss leg and the cache-disabled leg so the two can never
+// drift: the context-aware Searcher rather than Index.TopN, so a
+// deadline or a dropped connection stops the layer walk mid-query. The
+// checked constructor re-validates against the snapshot actually
+// queried: the handler's pre-admission gate used an earlier Snapshot()
+// load, and a concurrent swap could have changed the dimension in
+// between. A context error is reported with the stats accumulated so
+// far (the handler still records the wasted work).
+func computeTopN(ctx context.Context, snap *core.Index, weights []float64, n int) ([]core.Result, core.Stats, error) {
+	sr, err := snap.NewSearcherChecked(weights, n)
+	if err != nil {
+		return nil, core.Stats{}, err
 	}
 	sr.WithContext(ctx)
 	// Cap the preallocation by the snapshot size: n is client-controlled
 	// and, with no MaxResults clamp configured, a huge n must not force a
 	// huge (or panicking) allocation up front.
-	results := make([]ResultJSON, 0, min(n, snap.Len()))
+	results := make([]core.Result, 0, min(n, snap.Len()))
 	for {
 		res, ok := sr.Next()
 		if !ok {
 			break
 		}
-		results = append(results, ResultJSON{ID: res.ID, Score: res.Score, Layer: res.Layer})
+		results = append(results, res)
 	}
-	st := sr.Stats()
-	s.metrics.observeQuery(st, time.Since(start), s.metrics.topnLatency)
 	if err := sr.Err(); err != nil {
-		s.metrics.queriesTimeout.Add(1)
-		writeErr(w, http.StatusServiceUnavailable, "query stopped: %v", err)
-		return
+		return nil, sr.Stats(), err
 	}
-	writeJSON(w, http.StatusOK, TopNResponse{
-		Results: results,
-		Stats:   statsJSON(st),
-	})
+	return results, sr.Stats(), nil
 }
 
 // handleTopNBatch answers B queries in one request through the fused
@@ -260,6 +308,18 @@ func (s *Server) handleTopNBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Weights), maxQ)
 		return
 	}
+	// Reject malformed weight vectors (wrong dimension, NaN/Inf
+	// components) before spending an admission slot, mirroring /v1/topn.
+	// TopNBatch re-validates every vector against the snapshot actually
+	// queried before any scoring (all-or-nothing), so this is a cheap
+	// early 400 with a per-query position, not the authoritative gate.
+	dim := s.Snapshot().Dim()
+	for q, wts := range req.Weights {
+		if err := core.ValidateWeights(wts, dim); err != nil {
+			writeErr(w, http.StatusBadRequest, "batch query %d: %v", q, err)
+			return
+		}
+	}
 	if !s.admit() {
 		writeErr(w, http.StatusTooManyRequests, "server at max in-flight queries")
 		return
@@ -267,11 +327,33 @@ func (s *Server) handleTopNBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	start := time.Now()
+	// Same epoch-before-snapshot order as the solo handler.
+	epoch := s.cache.Epoch()
 	snap := s.Snapshot()
-	results, stats, err := snap.TopNBatch(req.Weights, s.clampLimit(req.N))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+	n := s.clampLimit(req.N)
+
+	var (
+		results [][]core.Result
+		stats   []core.Stats
+		// computedWork[q] is true when this request actually evaluated
+		// query q (the first occurrence of a missed key): only those
+		// queries fold real numbers into the cumulative work counters.
+		computedWork []bool
+	)
+	if s.cache != nil {
+		var err error
+		results, stats, computedWork, err = s.batchThroughCache(snap, req.Weights, n, epoch)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		var err error
+		results, stats, err = snap.TopNBatch(req.Weights, n)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 	}
 	s.metrics.batchRequests.Add(1)
 	s.metrics.batchQueries.Add(int64(len(req.Weights)))
@@ -282,10 +364,68 @@ func (s *Server) handleTopNBatch(w http.ResponseWriter, r *http.Request) {
 			rs[i] = ResultJSON{ID: rr.ID, Score: rr.Score, Layer: rr.Layer}
 		}
 		resp.Queries[q] = TopNResponse{Results: rs, Stats: statsJSON(stats[q])}
-		s.metrics.observeQuery(stats[q], 0, nil)
+		obsSt := stats[q]
+		if computedWork != nil && !computedWork[q] {
+			obsSt = core.Stats{} // served from cache (or a duplicate): no new work
+		}
+		s.metrics.observeQuery(obsSt, 0, nil)
 	}
 	s.metrics.batchLatency.Observe(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchThroughCache answers a batch with cache consultation: hits are
+// served from their entries, distinct missed keys are evaluated in ONE
+// fused TopNBatch pass (keeping the batch path's whole-batch slab
+// amortization for the part that needs computing), and each computed
+// ranking is installed for the next request. Duplicate weight vectors
+// within the batch are evaluated once and share the result — the walk
+// is deterministic, so the copies are bit-identical by construction.
+// Batch members do not join cross-request singleflight flights (that
+// would serialize the fused pass behind solo queries); coalescing
+// within the request is the dedup itself.
+func (s *Server) batchThroughCache(snap *core.Index, weights [][]float64, n int, epoch uint64) ([][]core.Result, []core.Stats, []bool, error) {
+	nq := len(weights)
+	results := make([][]core.Result, nq)
+	stats := make([]core.Stats, nq)
+	computedWork := make([]bool, nq)
+	served := make([]bool, nq)
+	keys := make([]string, nq)
+	missPos := make(map[string]int) // key -> index into missW
+	var missW [][]float64
+	for q, wts := range weights {
+		keys[q] = core.WeightKey(wts)
+		if res, st, ok := s.cache.Get(keys[q], n, epoch); ok {
+			results[q], stats[q], served[q] = res, st, true
+			continue
+		}
+		if _, dup := missPos[keys[q]]; !dup {
+			missPos[keys[q]] = len(missW)
+			missW = append(missW, wts)
+		}
+	}
+	if len(missW) > 0 {
+		computed, computedStats, err := snap.TopNBatch(missW, n)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		counted := make([]bool, len(missW))
+		for q := range weights {
+			if served[q] {
+				continue
+			}
+			mi := missPos[keys[q]]
+			results[q], stats[q] = computed[mi], computedStats[mi]
+			if !counted[mi] {
+				counted[mi] = true
+				computedWork[q] = true
+			}
+		}
+		for key, mi := range missPos {
+			s.cache.Put(key, epoch, n, computed[mi], computedStats[mi])
+		}
+	}
+	return results, stats, computedWork, nil
 }
 
 // handleSearch streams progressive retrieval as NDJSON: one ResultJSON

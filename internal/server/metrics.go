@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/telemetry"
 )
@@ -79,6 +80,21 @@ func newMetrics() *metrics {
 	v.Set("wal_commit_latency_ms", expvar.Func(func() any { return m.walCommitLatency.Summary() }))
 	m.vars = v
 	return m
+}
+
+// attachCache publishes the result cache's counters on the metric map.
+// Always attached — a disabled (nil) cache reports zeros, so scrapers
+// see a stable key set whether or not -cache-bytes is configured.
+func (m *metrics) attachCache(c *cache.Cache) {
+	counter := func(read func(cache.Counters) int64) expvar.Var {
+		return expvar.Func(func() any { return read(c.Counters()) })
+	}
+	m.vars.Set("cache_hits", counter(func(ct cache.Counters) int64 { return ct.Hits }))
+	m.vars.Set("cache_misses", counter(func(ct cache.Counters) int64 { return ct.Misses }))
+	m.vars.Set("cache_coalesced", counter(func(ct cache.Counters) int64 { return ct.Coalesced }))
+	m.vars.Set("cache_evictions", counter(func(ct cache.Counters) int64 { return ct.Evictions }))
+	m.vars.Set("cache_invalidations", counter(func(ct cache.Counters) int64 { return ct.Invalidations }))
+	m.vars.Set("cache_bytes", counter(func(ct cache.Counters) int64 { return ct.Bytes }))
 }
 
 // observeQuery folds one completed query's work into the counters.

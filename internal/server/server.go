@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/wal"
 )
@@ -63,6 +64,16 @@ type Config struct {
 	// failed back to its caller: nothing is ever acknowledged that would
 	// not survive a crash. Typically a *wal.Manager.
 	WAL wal.Committer
+	// CacheBytes bounds the weight-keyed top-N result cache consulted by
+	// /v1/topn and /v1/topn/batch (/v1/search streams bypass it): an LRU
+	// from canonical weight bytes to top-K results with singleflight
+	// coalescing and epoch invalidation tied to the snapshot swap (see
+	// package cache). 0 disables caching entirely — the query path is
+	// then byte-identical to a cacheless server.
+	CacheBytes int64
+	// CacheShards splits the result cache into independently locked
+	// shards. 0 means 8.
+	CacheShards int
 }
 
 func (c *Config) withDefaults() Config {
@@ -103,6 +114,12 @@ type Server struct {
 	mu     sync.RWMutex // guards closed + sends on ops
 	closed bool
 
+	// cache is the weight-keyed result cache (nil when disabled). Its
+	// epoch is bumped by apply after every snapshot publish, before the
+	// mutation callers are released — the ordering that guarantees an
+	// acknowledged write is never followed by a stale cached read.
+	cache *cache.Cache
+
 	metrics *metrics
 }
 
@@ -115,8 +132,10 @@ func New(ix *core.Index, cfg Config) *Server {
 		sem:     make(chan struct{}, c.MaxInFlight),
 		ops:     make(chan op, 4*c.MaxBatchOps),
 		done:    make(chan struct{}),
+		cache:   cache.New(c.CacheBytes, c.CacheShards),
 		metrics: newMetrics(),
 	}
+	s.metrics.attachCache(s.cache)
 	s.snap.Store(ix)
 	go s.mutator()
 	return s
@@ -286,6 +305,14 @@ func (s *Server) apply(batch []op) {
 	}
 	if applied > 0 {
 		s.snap.Store(next)
+		// Cache epoch bump strictly between the snapshot publish and the
+		// caller replies: queries read the epoch before loading their
+		// snapshot, so bumping after the store makes it impossible to tag
+		// an old-snapshot result with the new epoch, and bumping before
+		// the replies means any query admitted after a mutation was
+		// acknowledged sees the new epoch and rejects every pre-swap
+		// entry. See the cache package comment for the full argument.
+		s.cache.Invalidate()
 		s.metrics.snapshotSwaps.Add(1)
 		s.metrics.rebuildNanos.Add(time.Since(start).Nanoseconds())
 		s.metrics.mutateLatency.Observe(time.Since(start))

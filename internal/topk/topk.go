@@ -2,6 +2,15 @@
 // max-heap keyed by float64 scores, the two in-memory structures the
 // Onion query processor needs: a per-layer "best N of this layer" buffer
 // and the global candidate set.
+//
+// Both structures order items by one strict total order — descending
+// score, equal scores by ascending ID — not by score alone. Score-only
+// ordering would leave membership and pop order at exact ties dependent
+// on insertion sequence, and the insertion sequence of the query walk
+// depends on the query limit (each layer keeps min(remaining, |layer|)
+// records). Under the total order a top-n result is always the first n
+// entries of the same query's top-K result, which is what lets a cached
+// top-K answer serve any smaller n ("prefix serving") bit-identically.
 package topk
 
 // Item is a scored record reference.
@@ -10,8 +19,12 @@ type Item struct {
 	Score float64
 }
 
-// Bounded keeps the k items with the largest scores seen so far using a
-// size-k min-heap (the root is the weakest kept item, evicted first).
+// Bounded keeps the k greatest items seen so far under the package's
+// total order (descending score, ties by ascending ID), using a size-k
+// min-heap whose root is the weakest kept item, evicted first. Because
+// eviction follows the total order, the kept set is exactly the top k
+// of everything offered — independent of offer order, and the top k of
+// a Bounded with larger k is a superset.
 // The zero value is unusable; call NewBounded.
 type Bounded struct {
 	k     int
@@ -41,14 +54,17 @@ func (b *Bounded) Threshold() (float64, bool) {
 	return b.items[0].Score, true
 }
 
-// Offer considers an item and reports whether it was kept.
+// Offer considers an item and reports whether it was kept. At capacity
+// the root is evicted only when the new item is strictly greater under
+// the total order, so an exact score tie is broken by ID rather than by
+// arrival order.
 func (b *Bounded) Offer(it Item) bool {
 	if len(b.items) < b.k {
 		b.items = append(b.items, it)
 		b.siftUp(len(b.items) - 1)
 		return true
 	}
-	if it.Score <= b.items[0].Score {
+	if !itemLess(b.items[0], it) {
 		return false
 	}
 	b.items[0] = it
@@ -76,12 +92,8 @@ func (b *Bounded) Descending() []Item {
 func (b *Bounded) DescendingInto(dst []Item) []Item {
 	dst = append(dst, b.items...)
 	out := dst[len(dst)-len(b.items):]
-	// The copy is a min-heap on score alone; heapify under the full
-	// (score, ID) order before sorting — a score-only heap can violate
-	// the tie-broken heap property.
-	for i := len(out)/2 - 1; i >= 0; i-- {
-		siftDownItems(out, i)
-	}
+	// The copy is already an itemLess min-heap (Offer maintains the full
+	// total order); heapsort it directly.
 	for i := len(out) - 1; i > 0; i-- {
 		out[0], out[i] = out[i], out[0]
 		siftDownItems(out[:i], 0)
@@ -136,7 +148,7 @@ func (b *Bounded) ResetK(k int) {
 func (b *Bounded) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if b.items[p].Score <= b.items[i].Score {
+		if !itemLess(b.items[i], b.items[p]) {
 			return
 		}
 		b.items[p], b.items[i] = b.items[i], b.items[p]
@@ -144,28 +156,24 @@ func (b *Bounded) siftUp(i int) {
 	}
 }
 
-func (b *Bounded) siftDown(i int) {
-	n := len(b.items)
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && b.items[l].Score < b.items[m].Score {
-			m = l
-		}
-		if r < n && b.items[r].Score < b.items[m].Score {
-			m = r
-		}
-		if m == i {
-			return
-		}
-		b.items[i], b.items[m] = b.items[m], b.items[i]
-		i = m
+func (b *Bounded) siftDown(i int) { siftDownItems(b.items, i) }
+
+// itemGreater is the pop order of MaxHeap (and the output order of
+// DescendingInto): descending score, equal scores by ascending ID.
+func itemGreater(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
 	}
+	return a.ID < b.ID
 }
 
-// MaxHeap is an unbounded max-heap of Items. The Onion query processor
-// uses it as the candidate set: records from outer layers that may still
-// beat records of inner layers (paper Section 3.2).
+// MaxHeap is an unbounded max-heap of Items under the package's total
+// order (descending score, ties by ascending ID). The Onion query
+// processor uses it as the candidate set: records from outer layers
+// that may still beat records of inner layers (paper Section 3.2).
+// Because Peek/Pop follow the total order, the pop sequence of a given
+// item set never depends on the push sequence — the property that makes
+// candidate draining identical across different query limits.
 type MaxHeap struct {
 	items []Item
 }
@@ -179,7 +187,7 @@ func (h *MaxHeap) Push(it Item) {
 	i := len(h.items) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.items[p].Score >= h.items[i].Score {
+		if !itemGreater(h.items[i], h.items[p]) {
 			break
 		}
 		h.items[p], h.items[i] = h.items[i], h.items[p]
@@ -210,10 +218,10 @@ func (h *MaxHeap) Pop() (Item, bool) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
-		if l < n && h.items[l].Score > h.items[m].Score {
+		if l < n && itemGreater(h.items[l], h.items[m]) {
 			m = l
 		}
-		if r < n && h.items[r].Score > h.items[m].Score {
+		if r < n && itemGreater(h.items[r], h.items[m]) {
 			m = r
 		}
 		if m == i {

@@ -159,6 +159,88 @@ func TestMaxHeapProperty(t *testing.T) {
 	}
 }
 
+// TestBoundedTieOrderIndependent checks the total order at exact score
+// ties: the kept set and its output order must not depend on the offer
+// sequence, only on (score desc, ID asc). Prefix serving in the result
+// cache relies on exactly this.
+func TestBoundedTieOrderIndependent(t *testing.T) {
+	items := []Item{
+		{ID: 7, Score: 5}, {ID: 2, Score: 5}, {ID: 9, Score: 5},
+		{ID: 4, Score: 5}, {ID: 1, Score: 8}, {ID: 3, Score: 2},
+	}
+	// Top-3 under the total order: (8,1), (5,2), (5,4).
+	want := []Item{{ID: 1, Score: 8}, {ID: 2, Score: 5}, {ID: 4, Score: 5}}
+	perm := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]Item{}, items...)
+		perm.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := NewBounded(3)
+		for _, it := range shuffled {
+			b.Offer(it)
+		}
+		got := b.Descending()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: rank %d = %+v, want %+v (input %v)", trial, i, got[i], want[i], shuffled)
+			}
+		}
+	}
+}
+
+// TestBoundedPrefixProperty: for any offer sequence, Bounded(k)'s output
+// is the first k entries of Bounded(k') for every k' > k. This is the
+// limit-independence the query walk's per-layer keep needs so that a
+// cached top-K can answer any n ≤ K.
+func TestBoundedPrefixProperty(t *testing.T) {
+	f := func(scoresRaw []uint8, kRaw uint8) bool {
+		if len(scoresRaw) == 0 {
+			return true
+		}
+		k := int(kRaw%8) + 1
+		big := NewBounded(k + 5)
+		small := NewBounded(k)
+		for i, s := range scoresRaw {
+			it := Item{ID: i, Score: float64(s % 8)} // coarse scores force ties
+			big.Offer(it)
+			small.Offer(it)
+		}
+		wide := big.Descending()
+		narrow := small.Descending()
+		for i := range narrow {
+			if narrow[i] != wide[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(16))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxHeapTiePopOrder: pops at equal scores come out in ascending ID
+// regardless of push order.
+func TestMaxHeapTiePopOrder(t *testing.T) {
+	perm := rand.New(rand.NewSource(7))
+	items := []Item{{ID: 5, Score: 3}, {ID: 1, Score: 3}, {ID: 9, Score: 3}, {ID: 2, Score: 7}, {ID: 8, Score: 3}}
+	want := []Item{{ID: 2, Score: 7}, {ID: 1, Score: 3}, {ID: 5, Score: 3}, {ID: 8, Score: 3}, {ID: 9, Score: 3}}
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]Item{}, items...)
+		perm.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		var h MaxHeap
+		for _, it := range shuffled {
+			h.Push(it)
+		}
+		for i, w := range want {
+			got, ok := h.Pop()
+			if !ok || got != w {
+				t.Fatalf("trial %d: pop %d = %+v,%v want %+v", trial, i, got, ok, w)
+			}
+		}
+	}
+}
+
 func TestMaxHeapReset(t *testing.T) {
 	var h MaxHeap
 	h.Push(Item{Score: 1})

@@ -36,6 +36,7 @@ package onion
 import (
 	"context"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/shells"
 	"repro/internal/storage"
@@ -88,6 +89,10 @@ type Index struct {
 	// shellIx, when non-nil, accelerates whole-layer evaluation with
 	// the paper's spherical-shell structure; maintenance invalidates it.
 	shellIx *shells.Index
+	// cache, when non-nil, memoizes TopN results keyed by exact weight
+	// bits (EnableResultCache); maintenance bumps its epoch so stale
+	// entries are never served.
+	cache *cache.Cache
 }
 
 // Build constructs the layered convex hull over the records (paper
@@ -116,12 +121,74 @@ func (x *Index) TopN(weights []float64, n int) ([]Result, error) {
 	return res, err
 }
 
-// TopNStats is TopN plus evaluation statistics.
+// TopNStats is TopN plus evaluation statistics. With a result cache
+// enabled (EnableResultCache), a repeated weight vector is answered
+// from the cache — bit-identically, since the walk is deterministic and
+// tie-break-stable — and the reported stats describe the walk that
+// originally produced the entry.
 func (x *Index) TopNStats(weights []float64, n int) ([]Result, QueryStats, error) {
 	if x.shellIx != nil {
 		return x.shellIx.TopN(weights, n)
 	}
+	if x.cache != nil && n > 0 {
+		res, st, _, err := x.cache.GetOrCompute(core.WeightKey(weights), n, x.cache.Epoch(),
+			func() ([]Result, QueryStats, error) { return x.ix.TopN(weights, n) })
+		if err != nil {
+			return nil, st, err
+		}
+		// The cache owns its entry; callers own what TopN returns. Copy on
+		// the way out so a caller mutating its results cannot poison the
+		// cached ranking.
+		out := make([]Result, len(res))
+		copy(out, res)
+		return out, st, nil
+	}
 	return x.ix.TopN(weights, n)
+}
+
+// EnableResultCache attaches a byte-bounded LRU that memoizes TopN
+// results by the exact bits of the weight vector, with prefix serving
+// (a cached top-K answers any n ≤ K) and epoch invalidation on every
+// maintenance operation — a cached result can never survive a mutation.
+// maxBytes <= 0 disables the cache. The cache sits behind TopN /
+// TopNStats / Minimize; Search streams, TopNBatch, filtered queries and
+// shell-accelerated evaluation (Accelerate) bypass it. Not safe to call
+// concurrently with queries.
+func (x *Index) EnableResultCache(maxBytes int64) {
+	x.cache = cache.New(maxBytes, 0)
+}
+
+// CacheStats reports the result cache's counters (all zero when no
+// cache is enabled).
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Coalesced     int64
+	Evictions     int64
+	Invalidations int64
+	Bytes         int64
+}
+
+// CacheStats returns a snapshot of the result cache's telemetry.
+func (x *Index) CacheStats() CacheStats {
+	ct := x.cache.Counters()
+	return CacheStats{
+		Hits:          ct.Hits,
+		Misses:        ct.Misses,
+		Coalesced:     ct.Coalesced,
+		Evictions:     ct.Evictions,
+		Invalidations: ct.Invalidations,
+		Bytes:         ct.Bytes,
+	}
+}
+
+// invalidate drops every query acceleration structure that a mutation
+// may have made stale: the spherical-shell index is rebuilt only by an
+// explicit Accelerate, and the result cache's epoch bump retires all
+// cached rankings at once (entries are collected lazily).
+func (x *Index) invalidate() {
+	x.shellIx = nil
+	x.cache.Invalidate()
 }
 
 // TopNBatch answers many top-N queries in one fused pass over the
@@ -211,20 +278,20 @@ func (x *Index) SetParallelism(n int) { x.ix.SetParallelism(n) }
 // Insert adds a record, cascading layer repairs inwards (paper Section
 // 3.4). It invalidates any shell acceleration.
 func (x *Index) Insert(rec Record) error {
-	x.shellIx = nil
+	x.invalidate()
 	return x.ix.Insert(rec)
 }
 
 // InsertBatch adds several records with a single cascade.
 func (x *Index) InsertBatch(recs []Record) error {
-	x.shellIx = nil
+	x.invalidate()
 	return x.ix.InsertBatch(recs)
 }
 
 // Delete removes the record with the given ID, promoting inner records
 // outwards as needed.
 func (x *Index) Delete(id uint64) error {
-	x.shellIx = nil
+	x.invalidate()
 	return x.ix.Delete(id)
 }
 
@@ -232,13 +299,13 @@ func (x *Index) Delete(id uint64) error {
 // batch maintenance the paper recommends for bulk changes. Unknown or
 // duplicated IDs fail the whole batch before any mutation.
 func (x *Index) DeleteBatch(ids []uint64) error {
-	x.shellIx = nil
+	x.invalidate()
 	return x.ix.DeleteBatch(ids)
 }
 
 // Update replaces a record's attribute vector (delete + insert).
 func (x *Index) Update(id uint64, vector []float64) error {
-	x.shellIx = nil
+	x.invalidate()
 	return x.ix.Update(id, vector)
 }
 

@@ -9,6 +9,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files are not formatted:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go build ./..."
 go build ./...
 
@@ -37,7 +45,8 @@ go test -run='^$' -fuzz=FuzzTopNWeights -fuzztime=5s ./internal/core
 echo "== parallel build determinism smoke (onionbench -build-scaling)"
 smoke_out="$(mktemp)"
 query_out="$(mktemp)"
-trap 'rm -f "$smoke_out" "$query_out"' EXIT
+cache_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$query_out" "$cache_out"' EXIT
 go run ./cmd/onionbench -build-scaling -n 8000 -build-workers 1,4 -build-out "$smoke_out"
 
 # Query-path equivalence smoke: a small -query-scaling sweep
@@ -49,5 +58,14 @@ go run ./cmd/onionbench -build-scaling -n 8000 -build-workers 1,4 -build-out "$s
 # full-size (100k-point) run of the same gate.
 echo "== query path equivalence smoke (onionbench -query-scaling)"
 go run ./cmd/onionbench -query-scaling -n 3000 -queries 32 -query-workers 1,4 -query-out "$query_out"
+
+# Result-cache equivalence smoke: a small -cache-scaling run gates the
+# cached path (prefix serving off deeper entries, singleflight
+# coalescing, recomputation after epoch invalidation) on bit-identical
+# output versus the uncached walk and a brute-force sample before any
+# timing, and exits non-zero on divergence. The committed
+# BENCH_cache.json is the full-size (100k×4D) run of the same gate.
+echo "== result cache equivalence smoke (onionbench -cache-scaling)"
+go run ./cmd/onionbench -cache-scaling -n 3000 -queries 64 -cache-out "$cache_out"
 
 echo "CI OK"
