@@ -56,6 +56,11 @@ var (
 	cacheScalingFlag = flag.Bool("cache-scaling", false, "measure the weight-keyed result cache on a zipfian workload instead of running experiments; gates on cached ≡ uncached ≡ brute force, emits -cache-out JSON")
 	cacheOutFlag     = flag.String("cache-out", "BENCH_cache.json", "cache-scaling: summary JSON output path")
 
+	shardScalingFlag  = flag.Bool("shard-scaling", false, "stand up in-process shard clusters behind a coordinator instead of running experiments; gates merged output bitwise against a one-node oracle, emits -shard-out JSON")
+	shardCountsFlag   = flag.String("shard-counts", "1,2,3,5", "shard-scaling: comma-separated shard counts to sweep")
+	shardReplicasFlag = flag.String("shard-replicas", "1,2", "shard-scaling: comma-separated replica counts per shard group")
+	shardOutFlag      = flag.String("shard-out", "BENCH_shard.json", "shard-scaling: summary JSON output path")
+
 	serveLoadFlag = flag.String("serve-load", "", "load-test a query server instead of running experiments: a base URL like http://host:8080, or 'self' to serve a synthetic corpus in-process")
 	serveConcFlag = flag.Int("serve-conc", 16, "serve-load: concurrent clients")
 	serveDurFlag  = flag.Duration("serve-dur", 10*time.Second, "serve-load: measurement duration")
@@ -127,6 +132,24 @@ func main() {
 			}
 		})
 		cacheScaling(cn, cq, *cacheOutFlag)
+		return
+	}
+	if *shardScalingFlag {
+		// Same convention as the other scaling modes, sized down further:
+		// every configuration rebuilds the corpus as S per-shard indexes,
+		// so the sweep costs ~len(configs) full builds. 20k keeps the
+		// committed 8-config run around a minute; -n/-queries override for
+		// CI smokes and deep runs.
+		sn, sq := 20_000, 64
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n":
+				sn = n
+			case "queries":
+				sq = queries
+			}
+		})
+		shardScaling(sn, sq, *shardCountsFlag, *shardReplicasFlag, *shardOutFlag)
 		return
 	}
 	if *serveLoadFlag != "" {

@@ -1,0 +1,171 @@
+// Command onioncoord coordinates a cluster of onionserve shards behind
+// the same JSON/HTTP surface a single node exposes. Queries scatter to
+// every shard group (hedged across that group's replicas) and gather
+// into the exact single-node answer; inserts and deletes route to the
+// owning shard group. See internal/shard for the exactness argument.
+//
+//	onioncoord -addr :8090 -shards "http://s0:8080,http://s1:8080"
+//	onioncoord -shards "http://s0a:8080|http://s0b:8080,http://s1a:8080|http://s1b:8080"
+//	onioncoord -shards ... -partition cluster -corpus full.onion
+//
+// The -shards list is one entry per shard group, comma-separated;
+// replicas of a group are separated by '|'. Every replica of a group
+// must serve the same slice of the corpus.
+//
+// Endpoints (wire-compatible with onionserve, plus partial-result
+// extensions):
+//
+//	POST /v1/topn       {"weights":[...], "n":10, "partial":false}
+//	POST /v1/topn/batch {"weights":[[...]], "n":10, "partial":false}
+//	POST /v1/insert     {"records":[{"id":1,"vector":[...]}]}
+//	POST /v1/delete     {"ids":[1,2,3]}
+//	GET  /v1/metrics     → scatter-gather counters, per-shard latency
+//	GET  /v1/healthz     → per-group ready-replica counts
+//	GET  /v1/healthz/live, /v1/healthz/ready
+//
+// Filtered top-N (the "ranges" field) is answered 501: exact predicate
+// pushdown across shards needs an unbounded per-shard expansion the
+// coordinator does not implement; query a shard node directly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/shard"
+	"repro/internal/shard/client"
+	"repro/internal/storage"
+)
+
+var (
+	addrFlag      = flag.String("addr", ":8090", "listen address")
+	shardsFlag    = flag.String("shards", "", "shard groups: comma-separated, replicas within a group separated by '|'")
+	partitionFlag = flag.String("partition", "hash", "write routing: hash (by ID) or cluster (k-means over -corpus)")
+	corpusFlag    = flag.String("corpus", "", "saved index whose records seed the k-means centroids (-partition cluster)")
+	seedFlag      = flag.Int64("seed", 1, "k-means seed (-partition cluster)")
+	hedgeFlag     = flag.Duration("hedge-delay", 20*time.Millisecond, "head start for the primary replica before a backup request fires (negative disables hedging)")
+	shardTOFlag   = flag.Duration("shard-timeout", 5*time.Second, "deadline for one shard group's whole query, hedges included")
+	probeFlag     = flag.Duration("probe-interval", 2*time.Second, "readiness probe period for every replica (negative disables)")
+	reqTOFlag     = flag.Duration("request-timeout", 10*time.Second, "per-attempt HTTP timeout to a replica")
+	connsFlag     = flag.Int("max-conns", 32, "connection pool bound per replica")
+	retriesFlag   = flag.Int("retry-reads", 1, "transport-level retries for idempotent reads (mutations are never retried)")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("onioncoord: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	endpoints, err := parseShards(*shardsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := buildPartitioner(len(endpoints))
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord, err := shard.New(part, endpoints, shard.Config{
+		Client: client.Config{
+			Timeout:    *reqTOFlag,
+			MaxConns:   *connsFlag,
+			RetryReads: *retriesFlag,
+		},
+		ShardTimeout:  *shardTOFlag,
+		HedgeDelay:    *hedgeFlag,
+		ProbeInterval: *probeFlag,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+
+	replicas := 0
+	for _, g := range endpoints {
+		replicas += len(g)
+	}
+	log.Printf("coordinating %d shard group(s), %d replica(s), %s partitioning",
+		len(endpoints), replicas, *partitionFlag)
+
+	httpSrv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addrFlag)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down: draining active requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("bye")
+}
+
+// parseShards turns "a|b,c|d" into [][]string{{a,b},{c,d}}.
+func parseShards(s string) ([][]string, error) {
+	if s == "" {
+		fmt.Fprintln(os.Stderr, "onioncoord: need -shards \"http://host:port[|replica...],...\"")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var out [][]string
+	for gi, grp := range strings.Split(s, ",") {
+		var reps []string
+		for _, rep := range strings.Split(grp, "|") {
+			rep = strings.TrimSpace(rep)
+			if rep == "" {
+				continue
+			}
+			if !strings.HasPrefix(rep, "http://") && !strings.HasPrefix(rep, "https://") {
+				return nil, fmt.Errorf("shard group %d: replica %q is not an http(s) URL", gi, rep)
+			}
+			reps = append(reps, rep)
+		}
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("shard group %d is empty", gi)
+		}
+		out = append(out, reps)
+	}
+	return out, nil
+}
+
+func buildPartitioner(shards int) (shard.Partitioner, error) {
+	switch *partitionFlag {
+	case "hash":
+		return shard.NewHashPartitioner(shards)
+	case "cluster":
+		if *corpusFlag == "" {
+			return nil, fmt.Errorf("-partition cluster needs -corpus (a saved index to learn centroids from)")
+		}
+		ix, err := storage.Load(*corpusFlag)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", *corpusFlag, err)
+		}
+		return shard.NewClusterPartitioner(ix.Records(), shards, *seedFlag)
+	default:
+		return nil, fmt.Errorf("unknown -partition %q (hash or cluster)", *partitionFlag)
+	}
+}

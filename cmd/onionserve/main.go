@@ -37,6 +37,7 @@ import (
 	_ "net/http/pprof" // handlers are only reachable behind -pprof
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -72,6 +73,27 @@ func main() {
 	flag.Parse()
 	log.SetPrefix("onionserve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	// The listener comes up before state recovery, serving a boot
+	// handler: /v1/healthz/live answers 200 (the process is alive),
+	// everything else — including /v1/healthz/ready — answers 503. A
+	// node replaying a large WAL is therefore visibly "live but not
+	// ready", and a shard coordinator keeps it out of the fan-out order
+	// instead of timing out against a closed port.
+	var root atomic.Value // http.Handler
+	root.Store(bootHandler())
+	httpSrv := &http.Server{
+		Addr: *addrFlag,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			root.Load().(http.Handler).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addrFlag)
+		errc <- httpSrv.ListenAndServe()
+	}()
 
 	ix, mgr, err := openState()
 	if err != nil {
@@ -116,20 +138,11 @@ func main() {
 		handler = mux
 		log.Print("pprof profiling enabled on /debug/pprof/")
 	}
-	httpSrv := &http.Server{
-		Addr:              *addrFlag,
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	root.Store(handler)
+	log.Print("ready: serving queries")
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("listening on %s", *addrFlag)
-		errc <- httpSrv.ListenAndServe()
-	}()
 
 	select {
 	case err := <-errc:
@@ -164,6 +177,22 @@ func main() {
 		}
 	}
 	log.Print("bye")
+}
+
+// bootHandler answers for the window between listen and recovery:
+// alive, not ready, no state to serve.
+func bootHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz/live", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"ok":true,"ready":false}`+"\n")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"starting: recovering state"}`+"\n")
+	})
+	return mux
 }
 
 // openState resolves the serving index. With -data-dir, recovered

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestTopNFilteredEndpoint exercises the ranges field of /v1/topn: the
+// answer must match the index's own constrained query (Section 4
+// expansion) exactly, and every result must satisfy every predicate.
+func TestTopNFilteredEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, 600, 3, Config{})
+	w := []float64{0.5, 0.3, 0.2}
+	ranges := []RangeJSON{{Attr: 0, Lo: -0.5, Hi: 2.0}, {Attr: 2, Lo: -1.0, Hi: 1.0}}
+
+	resp := postJSON(t, ts.URL+"/v1/topn", TopNRequest{Weights: w, N: 10, Ranges: ranges})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got TopNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := s.Snapshot()
+	want, _, err := snap.TopNInRanges(w, 10, map[int][2]float64{
+		0: {-0.5, 2.0},
+		2: {-1.0, 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got.Results), len(want))
+	}
+	for i, r := range got.Results {
+		if r.ID != want[i].ID || r.Score != want[i].Score {
+			t.Fatalf("result %d: got %+v want %+v", i, r, want[i])
+		}
+		v, ok := snap.Vector(r.ID)
+		if !ok {
+			t.Fatalf("result %d: id %d not in index", i, r.ID)
+		}
+		for _, rg := range ranges {
+			if v[rg.Attr] < rg.Lo || v[rg.Attr] > rg.Hi {
+				t.Fatalf("result %d violates range on attr %d: %v", i, rg.Attr, v)
+			}
+		}
+	}
+}
+
+func TestTopNFilteredBadRanges(t *testing.T) {
+	_, ts := newTestServer(t, 100, 2, Config{})
+	for _, tc := range []struct {
+		name   string
+		ranges []RangeJSON
+	}{
+		{"attr out of range", []RangeJSON{{Attr: 5, Lo: 0, Hi: 1}}},
+		{"negative attr", []RangeJSON{{Attr: -1, Lo: 0, Hi: 1}}},
+		{"empty interval", []RangeJSON{{Attr: 0, Lo: 2, Hi: 1}}},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/topn", TopNRequest{Weights: []float64{1, 1}, N: 5, Ranges: tc.ranges})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestTopNFilteredSkipsCache pins the cache-bypass invariant: a cached
+// unfiltered ranking must never be served to a filtered request (cache
+// keys ignore predicates).
+func TestTopNFilteredSkipsCache(t *testing.T) {
+	s, ts := newTestServer(t, 400, 2, Config{CacheBytes: 1 << 20})
+	w := []float64{0.7, 0.3}
+
+	// Prime the cache with the unfiltered ranking.
+	resp := postJSON(t, ts.URL+"/v1/topn", TopNRequest{Weights: w, N: 5})
+	resp.Body.Close()
+
+	// A narrow predicate must produce a different (still-satisfying)
+	// answer, not the cached prefix.
+	resp = postJSON(t, ts.URL+"/v1/topn", TopNRequest{Weights: w, N: 5, Ranges: []RangeJSON{{Attr: 0, Lo: -10, Hi: -0.5}}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got TopNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got.Results {
+		v, ok := s.Snapshot().Vector(r.ID)
+		if !ok {
+			t.Fatalf("result %d: id %d not in index", i, r.ID)
+		}
+		if v[0] > -0.5 {
+			t.Fatalf("result %d (id %d) violates the predicate: %v — cached unfiltered ranking leaked", i, r.ID, v)
+		}
+	}
+}
+
+// TestHealthzLiveReady exercises the liveness/readiness split: live is
+// unconditional, ready follows the server's ready bit (flipped off
+// during WAL recovery or administrative drain).
+func TestHealthzLiveReady(t *testing.T) {
+	s, ts := newTestServer(t, 100, 2, Config{})
+
+	get := func(path string) (int, HealthResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := get("/v1/healthz/live"); code != http.StatusOK || !h.OK {
+		t.Fatalf("live: status %d ok=%v", code, h.OK)
+	}
+	if code, h := get("/v1/healthz/ready"); code != http.StatusOK || !h.Ready {
+		t.Fatalf("ready: status %d ready=%v", code, h.Ready)
+	}
+	if code, h := get("/v1/healthz"); code != http.StatusOK || !h.Ready {
+		t.Fatalf("healthz: status %d ready=%v", code, h.Ready)
+	}
+
+	s.SetReady(false)
+	if code, _ := get("/v1/healthz/live"); code != http.StatusOK {
+		t.Fatalf("live while not ready: status %d, want 200", code)
+	}
+	if code, h := get("/v1/healthz/ready"); code != http.StatusServiceUnavailable || h.Ready {
+		t.Fatalf("ready while not ready: status %d ready=%v, want 503 false", code, h.Ready)
+	}
+	// Historical shape: plain healthz stays 200 with the bit exposed.
+	if code, h := get("/v1/healthz"); code != http.StatusOK || h.Ready {
+		t.Fatalf("healthz while not ready: status %d ready=%v, want 200 false", code, h.Ready)
+	}
+	s.SetReady(true)
+	if code, _ := get("/v1/healthz/ready"); code != http.StatusOK {
+		t.Fatalf("ready after restore: status %d", code)
+	}
+}
+
+// TestDeleteMissingOK exercises the broadcast-delete mode: IDs the
+// server does not hold are skipped (and deduplicated), Applied reports
+// the true removal count, and held IDs are really gone.
+func TestDeleteMissingOK(t *testing.T) {
+	s, ts := newTestServer(t, 100, 2, Config{})
+
+	resp := postJSON(t, ts.URL+"/v1/delete", DeleteRequest{
+		IDs:       []uint64{1, 2, 99999, 2, 100000}, // 2 held (one duplicated), 2 missing
+		MissingOK: true,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var mr MutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Applied != 2 {
+		t.Fatalf("applied %d, want 2", mr.Applied)
+	}
+	snap := s.Snapshot()
+	for _, id := range []uint64{1, 2} {
+		if _, ok := snap.LayerOf(id); ok {
+			t.Fatalf("id %d still present after missing-ok delete", id)
+		}
+	}
+	if snap.Len() != 98 {
+		t.Fatalf("len %d, want 98", snap.Len())
+	}
+
+	// Without the flag, the same shape fails atomically like it always
+	// has.
+	resp2 := postJSON(t, ts.URL+"/v1/delete", DeleteRequest{IDs: []uint64{3, 99999}})
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("strict delete with missing id: status %d, want 404", resp2.StatusCode)
+	}
+	if _, ok := s.Snapshot().LayerOf(3); !ok {
+		t.Fatal("strict delete was not atomic: id 3 removed despite 404")
+	}
+
+	// All-missing with the flag: a clean no-op.
+	resp3 := postJSON(t, ts.URL+"/v1/delete", DeleteRequest{IDs: []uint64{99999}, MissingOK: true})
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("all-missing delete: status %d", resp3.StatusCode)
+	}
+	var mr3 MutateResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&mr3); err != nil {
+		t.Fatal(err)
+	}
+	if mr3.Applied != 0 {
+		t.Fatalf("all-missing applied %d, want 0", mr3.Applied)
+	}
+}
+
+// TestDeleteIfPresentAPI covers the Go-level entry the coordinator
+// uses, including the concurrent-submit path.
+func TestDeleteIfPresentAPI(t *testing.T) {
+	s, _ := newTestServer(t, 50, 2, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	applied, err := s.DeleteIfPresent(ctx, []uint64{5, 6, 7, 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 {
+		t.Fatalf("applied %d, want 3", applied)
+	}
+	applied, err = s.DeleteIfPresent(ctx, []uint64{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0 {
+		t.Fatalf("re-delete applied %d, want 0", applied)
+	}
+}

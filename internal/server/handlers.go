@@ -21,6 +21,20 @@ import (
 type TopNRequest struct {
 	Weights []float64 `json:"weights"`
 	N       int       `json:"n"`
+	// Ranges, when present, constrain results to records whose
+	// attributes fall inside every given closed interval — the paper's
+	// Section 4 constrained ("local") queries, answered by expanding
+	// the global ranking until n records qualify. Filtered queries
+	// bypass the result cache: cached entries are keyed by weights
+	// alone and their prefixes answer unfiltered queries only.
+	Ranges []RangeJSON `json:"ranges,omitempty"`
+}
+
+// RangeJSON is one closed interval constraint on one attribute.
+type RangeJSON struct {
+	Attr int     `json:"attr"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
 }
 
 // SearchRequest is the body of POST /v1/search. Limit <= 0 asks for the
@@ -42,9 +56,15 @@ type InsertRequest struct {
 	Records []RecordJSON `json:"records"`
 }
 
-// DeleteRequest is the body of POST /v1/delete.
+// DeleteRequest is the body of POST /v1/delete. MissingOK asks the
+// server to skip IDs it does not hold (deduplicated) instead of
+// rejecting the whole batch — the mode a shard coordinator's broadcast
+// deletes use, where each shard owns only part of the ID set. The
+// response's Applied then reports how many records were actually
+// removed.
 type DeleteRequest struct {
-	IDs []uint64 `json:"ids"`
+	IDs       []uint64 `json:"ids"`
+	MissingOK bool     `json:"missing_ok,omitempty"`
 }
 
 // ResultJSON is one ranked answer on the wire.
@@ -106,9 +126,16 @@ type MutateResponse struct {
 	Layers  int `json:"layers"`  // layers after the swap
 }
 
-// HealthResponse is the body of GET /v1/healthz.
+// HealthResponse is the body of GET /v1/healthz and its liveness /
+// readiness split. /v1/healthz/live answers 200 whenever the process
+// serves HTTP at all; /v1/healthz/ready answers 200 only once the
+// index is recovered and queryable (503 otherwise), which is what a
+// shard coordinator polls to exclude a recovering replica from
+// fan-out. Plain /v1/healthz keeps its historical always-200 shape
+// with the ready bit included.
 type HealthResponse struct {
 	OK      bool `json:"ok"`
+	Ready   bool `json:"ready"`
 	Records int  `json:"records"`
 	Layers  int  `json:"layers"`
 	Dim     int  `json:"dim"`
@@ -129,6 +156,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/delete", s.handleDelete)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz/live", s.handleLive)
+	mux.HandleFunc("GET /v1/healthz/ready", s.handleReady)
 	return mux
 }
 
@@ -189,6 +218,10 @@ func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := validateRanges(req.Ranges, s.Snapshot().Dim()); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if !s.admit() {
 		writeErr(w, http.StatusTooManyRequests, "server at max in-flight queries")
 		return
@@ -196,6 +229,11 @@ func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
+
+	if len(req.Ranges) > 0 {
+		s.serveTopNFiltered(ctx, w, req)
+		return
+	}
 
 	start := time.Now()
 	// Epoch before snapshot: paired with apply's store-then-bump, this
@@ -280,6 +318,78 @@ func computeTopN(ctx context.Context, snap *core.Index, weights []float64, n int
 		return nil, sr.Stats(), err
 	}
 	return results, sr.Stats(), nil
+}
+
+// validateRanges rejects malformed predicate constraints before a
+// request spends an admission slot: attributes must exist and each
+// interval must be non-empty (Lo > Hi can only ever force a full-corpus
+// expansion that returns nothing).
+func validateRanges(ranges []RangeJSON, dim int) error {
+	for _, rg := range ranges {
+		if rg.Attr < 0 || rg.Attr >= dim {
+			return fmt.Errorf("range on attribute %d of %d", rg.Attr, dim)
+		}
+		if rg.Lo > rg.Hi {
+			return fmt.Errorf("empty range [%g, %g] on attribute %d", rg.Lo, rg.Hi, rg.Attr)
+		}
+	}
+	return nil
+}
+
+// serveTopNFiltered answers a /v1/topn request carrying range
+// predicates: the paper's Section 4 expansion — stream the global
+// ranking (context-aware, so a deadline stops a predicate that is
+// anti-correlated with the weights mid-scan) and keep the first n
+// qualifying records. Runs uncached: cache entries are keyed by weights
+// alone and prefix-serve unfiltered rankings only. Single-node only;
+// the shard coordinator answers 501 for filtered queries (per-shard
+// expansion depth is not independently bounded, so pushdown is future
+// work).
+func (s *Server) serveTopNFiltered(ctx context.Context, w http.ResponseWriter, req TopNRequest) {
+	start := time.Now()
+	snap := s.Snapshot()
+	n := s.clampLimit(req.N)
+	sr, err := snap.NewSearcherChecked(req.Weights, 0) // unbounded: expand until n qualify
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sr.WithContext(ctx)
+	results := make([]core.Result, 0, min(n, snap.Len()))
+	for len(results) < n {
+		res, ok := sr.Next()
+		if !ok {
+			break
+		}
+		v, ok := snap.Vector(res.ID)
+		if !ok {
+			continue // unreachable: the searcher only emits live records
+		}
+		if inRanges(v, req.Ranges) {
+			results = append(results, res)
+		}
+	}
+	st := sr.Stats()
+	s.metrics.observeQuery(st, time.Since(start), s.metrics.topnLatency)
+	if err := sr.Err(); err != nil {
+		s.metrics.queriesTimeout.Add(1)
+		writeErr(w, http.StatusServiceUnavailable, "query stopped: %v", err)
+		return
+	}
+	rs := make([]ResultJSON, len(results))
+	for i, res := range results {
+		rs[i] = ResultJSON{ID: res.ID, Score: res.Score, Layer: res.Layer}
+	}
+	writeJSON(w, http.StatusOK, TopNResponse{Results: rs, Stats: statsJSON(st)})
+}
+
+func inRanges(v []float64, ranges []RangeJSON) bool {
+	for _, rg := range ranges {
+		if v[rg.Attr] < rg.Lo || v[rg.Attr] > rg.Hi {
+			return false
+		}
+	}
+	return true
 }
 
 // handleTopNBatch answers B queries in one request through the fused
@@ -527,12 +637,19 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "no ids")
 		return
 	}
-	if err := s.Delete(r.Context(), req.IDs); err != nil {
+	applied := len(req.IDs)
+	if req.MissingOK {
+		var err error
+		if applied, err = s.DeleteIfPresent(r.Context(), req.IDs); err != nil {
+			writeMutationErr(w, err)
+			return
+		}
+	} else if err := s.Delete(r.Context(), req.IDs); err != nil {
 		writeMutationErr(w, err)
 		return
 	}
 	snap := s.Snapshot()
-	writeJSON(w, http.StatusOK, MutateResponse{Applied: len(req.IDs), Len: snap.Len(), Layers: snap.NumLayers()})
+	writeJSON(w, http.StatusOK, MutateResponse{Applied: applied, Len: snap.Len(), Layers: snap.NumLayers()})
 }
 
 func writeMutationErr(w http.ResponseWriter, err error) {
@@ -555,12 +672,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, s.metrics.vars.String())
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) health() HealthResponse {
 	snap := s.Snapshot()
-	writeJSON(w, http.StatusOK, HealthResponse{
+	return HealthResponse{
 		OK:      true,
+		Ready:   s.Ready(),
 		Records: snap.Len(),
 		Layers:  snap.NumLayers(),
 		Dim:     snap.Dim(),
-	})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	h := s.health()
+	status := http.StatusOK
+	if !h.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }

@@ -99,7 +99,23 @@ var ErrClosed = errors.New("server: shutting down")
 type op struct {
 	insert []core.Record
 	del    []uint64
-	reply  chan error
+	// delMissingOK makes the delete skip IDs the index does not hold
+	// (and deduplicate the batch) instead of rejecting the whole
+	// operation — the mode a shard coordinator's broadcast deletes
+	// rely on: every shard deletes the IDs it owns and ignores the
+	// rest. The effective set is resolved against the clone being
+	// mutated, so it is exact even against concurrent earlier ops in
+	// the same batch.
+	delMissingOK bool
+	reply        chan opResult
+}
+
+// opResult answers one op: how many records the operation actually
+// touched (inserts: all-or-nothing; missing-ok deletes: the subset
+// present) and its error.
+type opResult struct {
+	applied int
+	err     error
 }
 
 // Server serves linear optimization queries over one Onion index.
@@ -120,8 +136,21 @@ type Server struct {
 	// acknowledged write is never followed by a stale cached read.
 	cache *cache.Cache
 
+	// ready gates GET /v1/healthz/ready (liveness is unconditional). A
+	// freshly constructed server is ready; boot orchestration that
+	// exposes the port before recovery finishes, or an operator
+	// draining a node, flips it with SetReady. A shard coordinator
+	// excludes not-ready replicas from query fan-out.
+	ready atomic.Bool
+
 	metrics *metrics
 }
+
+// SetReady flips the readiness state reported by /v1/healthz/ready.
+func (s *Server) SetReady(v bool) { s.ready.Store(v) }
+
+// Ready reports the current readiness state.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // New wraps ix in a serving layer. The caller must not mutate ix after
 // handing it over; the server owns it from here on.
@@ -137,6 +166,7 @@ func New(ix *core.Index, cfg Config) *Server {
 	}
 	s.metrics.attachCache(s.cache)
 	s.snap.Store(ix)
+	s.ready.Store(true)
 	go s.mutator()
 	return s
 }
@@ -149,19 +179,30 @@ func (s *Server) Snapshot() *core.Index { return s.snap.Load() }
 // contains them to be applied (or ctx to expire — the mutation may
 // still be applied after an early return).
 func (s *Server) Insert(ctx context.Context, recs []core.Record) error {
-	return s.submit(ctx, op{insert: recs, reply: make(chan error, 1)})
+	_, err := s.submit(ctx, op{insert: recs, reply: make(chan opResult, 1)})
+	return err
 }
 
-// Delete submits IDs for deletion, with Insert's semantics.
+// Delete submits IDs for deletion, with Insert's semantics. Every ID
+// must exist; a missing ID fails the whole operation.
 func (s *Server) Delete(ctx context.Context, ids []uint64) error {
-	return s.submit(ctx, op{del: ids, reply: make(chan error, 1)})
+	_, err := s.submit(ctx, op{del: ids, reply: make(chan opResult, 1)})
+	return err
 }
 
-func (s *Server) submit(ctx context.Context, o op) error {
+// DeleteIfPresent deletes the subset of ids the index currently holds
+// (duplicates collapsed) and returns how many were actually removed.
+// Unknown IDs are skipped, not errors — the semantics a coordinator's
+// broadcast delete needs, where each shard owns only part of the set.
+func (s *Server) DeleteIfPresent(ctx context.Context, ids []uint64) (int, error) {
+	return s.submit(ctx, op{del: ids, delMissingOK: true, reply: make(chan opResult, 1)})
+}
+
+func (s *Server) submit(ctx context.Context, o op) (int, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	// Send while holding the read lock so Close cannot close(ops) between
 	// the flag check and the send. The mutator drains continuously, so
@@ -169,10 +210,10 @@ func (s *Server) submit(ctx context.Context, o op) error {
 	s.ops <- o
 	s.mu.RUnlock()
 	select {
-	case err := <-o.reply:
-		return err
+	case res := <-o.reply:
+		return res.applied, res.err
 	case <-ctx.Done():
-		return ctx.Err()
+		return 0, ctx.Err()
 	}
 }
 
@@ -235,21 +276,42 @@ func (s *Server) apply(batch []op) {
 	start := time.Now()
 	base := s.snap.Load()
 	next := base.Clone()
-	errs := make([]error, len(batch))
+	results := make([]opResult, len(batch))
+	// effDel[i] is the delete set op i actually applied: for missing-ok
+	// deletes, the present subset resolved against the clone being
+	// mutated. The WAL logs this effective set, not the requested one —
+	// logging skipped IDs would make crash replay fail on not-found.
+	effDel := make([][]uint64, len(batch))
 	applied := 0
-	applyOp := func(ix *core.Index, o op) error {
+	applyOp := func(ix *core.Index, i int, o op) (int, error) {
 		switch {
 		case len(o.insert) > 0:
-			return ix.InsertBatch(o.insert)
+			if err := ix.InsertBatch(o.insert); err != nil {
+				return 0, err
+			}
+			return len(o.insert), nil
 		case len(o.del) > 0:
-			return ix.DeleteBatch(o.del)
+			ids := o.del
+			if o.delMissingOK {
+				ids = presentIDs(ix, o.del)
+				if len(ids) == 0 {
+					effDel[i] = nil
+					return 0, nil
+				}
+			}
+			if err := ix.DeleteBatch(ids); err != nil {
+				effDel[i] = nil
+				return 0, err
+			}
+			effDel[i] = ids
+			return len(ids), nil
 		}
-		return nil
+		return 0, nil
 	}
 	for i, o := range batch {
-		err := applyOp(next, o)
-		errs[i] = err
-		if err == nil && (len(o.insert) > 0 || len(o.del) > 0) {
+		n, err := applyOp(next, i, o)
+		results[i] = opResult{applied: n, err: err}
+		if err == nil && n > 0 {
 			applied++
 		}
 		s.metrics.mutationOps.Add(1)
@@ -257,8 +319,8 @@ func (s *Server) apply(batch []op) {
 			s.metrics.mutationErrors.Add(1)
 			next = base.Clone()
 			for j := 0; j < i; j++ {
-				if errs[j] == nil {
-					applyOp(next, batch[j])
+				if results[j].err == nil {
+					applyOp(next, j, batch[j])
 				}
 			}
 		}
@@ -279,22 +341,22 @@ func (s *Server) apply(batch []op) {
 	if applied > 0 && s.cfg.WAL != nil {
 		muts := make([]wal.Mutation, 0, applied)
 		for i, o := range batch {
-			if errs[i] != nil {
+			if results[i].err != nil || results[i].applied == 0 {
 				continue
 			}
 			switch {
 			case len(o.insert) > 0:
 				muts = append(muts, wal.Mutation{Insert: o.insert})
 			case len(o.del) > 0:
-				muts = append(muts, wal.Mutation{Delete: o.del})
+				muts = append(muts, wal.Mutation{Delete: effDel[i]})
 			}
 		}
 		commitStart := time.Now()
 		if err := s.cfg.WAL.CommitBatch(muts, next); err != nil {
 			s.metrics.walCommitErrors.Add(1)
 			for i := range batch {
-				if errs[i] == nil {
-					errs[i] = fmt.Errorf("server: wal commit: %w", err)
+				if results[i].err == nil {
+					results[i].err = fmt.Errorf("server: wal commit: %w", err)
 				}
 			}
 			applied = 0
@@ -318,8 +380,26 @@ func (s *Server) apply(batch []op) {
 		s.metrics.mutateLatency.Observe(time.Since(start))
 	}
 	for i, o := range batch {
-		o.reply <- errs[i]
+		o.reply <- results[i]
 	}
+}
+
+// presentIDs returns the IDs the index currently holds, in request
+// order, duplicates collapsed — the effective set of a missing-ok
+// delete.
+func presentIDs(ix *core.Index, ids []uint64) []uint64 {
+	out := make([]uint64, 0, len(ids))
+	seen := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if _, ok := ix.LayerOf(id); ok {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // admit reserves an admission slot, reporting false on saturation.

@@ -411,28 +411,28 @@ func TestApplyPartialBatchFailure(t *testing.T) {
 	s := New(buildIndex(t, 100, 2, 7), Config{})
 	defer s.Close(context.Background())
 
-	okIns := op{insert: []core.Record{{ID: 9001, Vector: []float64{50, 50}}}, reply: make(chan error, 1)}
+	okIns := op{insert: []core.Record{{ID: 9001, Vector: []float64{50, 50}}}, reply: make(chan opResult, 1)}
 	// Fails validation via the intra-batch duplicate check; any error
 	// forces the discard-and-replay path in apply().
 	badIns := op{insert: []core.Record{
 		{ID: 9002, Vector: []float64{1, 1}},
 		{ID: 9002, Vector: []float64{2, 2}},
-	}, reply: make(chan error, 1)}
-	okDel := op{del: []uint64{1}, reply: make(chan error, 1)}
-	badDel := op{del: []uint64{424242}, reply: make(chan error, 1)}
+	}, reply: make(chan opResult, 1)}
+	okDel := op{del: []uint64{1}, reply: make(chan opResult, 1)}
+	badDel := op{del: []uint64{424242}, reply: make(chan opResult, 1)}
 
 	s.apply([]op{okIns, badIns, okDel, badDel})
 
-	if err := <-okIns.reply; err != nil {
-		t.Fatalf("good insert failed: %v", err)
+	if res := <-okIns.reply; res.err != nil {
+		t.Fatalf("good insert failed: %v", res.err)
 	}
-	if err := <-badIns.reply; err == nil {
+	if res := <-badIns.reply; res.err == nil {
 		t.Fatal("intra-batch duplicate insert succeeded")
 	}
-	if err := <-okDel.reply; err != nil {
-		t.Fatalf("good delete failed: %v", err)
+	if res := <-okDel.reply; res.err != nil {
+		t.Fatalf("good delete failed: %v", res.err)
 	}
-	if err := <-badDel.reply; err == nil {
+	if res := <-badDel.reply; res.err == nil {
 		t.Fatal("unknown-ID delete succeeded")
 	}
 

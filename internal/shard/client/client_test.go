@@ -1,0 +1,230 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+const topNBody = `{"results":[{"id":3,"score":1.5,"layer":2}],"stats":{"records_evaluated":4,"layers_accessed":2,"layers_pruned":1}}`
+
+func TestTopNDecodesResponse(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/topn" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		w.Write([]byte(topNBody))
+	}))
+	defer ts.Close()
+
+	ep := New(ts.URL+"/", Config{}) // trailing slash must be tolerated
+	resp, err := ep.TopN(context.Background(), server.TopNRequest{Weights: []float64{1}, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].ID != 3 || resp.Results[0].Score != 1.5 {
+		t.Fatalf("decoded %+v", resp.Results)
+	}
+	if resp.Stats.RecordsEvaluated != 4 || resp.Stats.LayersPruned != 1 {
+		t.Fatalf("stats %+v", resp.Stats)
+	}
+}
+
+func TestStatusErrorCarriesServerMessage(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"server overloaded"}`))
+	}))
+	defer ts.Close()
+
+	ep := New(ts.URL, Config{})
+	_, err := ep.TopN(context.Background(), server.TopNRequest{Weights: []float64{1}, N: 1})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StatusError, got %v", err)
+	}
+	if se.Code != http.StatusTooManyRequests || se.Msg != "server overloaded" {
+		t.Fatalf("got %+v", se)
+	}
+}
+
+// TestReadsRetryTransportErrors: a read that dies at the transport
+// level is retried; the server's request count proves the second
+// attempt happened.
+func TestReadsRetryTransportErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Kill the connection mid-response: a transport error, not an
+			// HTTP answer.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("recorder not hijackable")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+			return
+		}
+		w.Write([]byte(topNBody))
+	}))
+	defer ts.Close()
+
+	ep := New(ts.URL, Config{RetryReads: 1})
+	resp, err := ep.TopN(context.Background(), server.TopNRequest{Weights: []float64{1}, N: 1})
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("results %+v", resp.Results)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestMutationsNeverRetry: the same mid-flight death on a mutation is
+// surfaced, not retried — a blind retry could double-apply.
+func TestMutationsNeverRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		hj := w.(http.Hijacker)
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}))
+	defer ts.Close()
+
+	ep := New(ts.URL, Config{RetryReads: 3})
+	_, err := ep.Insert(context.Background(), []core.Record{{ID: 1, Vector: []float64{1}}})
+	if err == nil {
+		t.Fatal("mutation over a dead connection succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d insert attempts, want exactly 1", got)
+	}
+}
+
+// TestHTTPErrorsNeverRetry: the server answered; re-asking a settled
+// question is not a retry policy.
+func TestHTTPErrorsNeverRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad weights"}`))
+	}))
+	defer ts.Close()
+
+	ep := New(ts.URL, Config{RetryReads: 3})
+	_, err := ep.TopN(context.Background(), server.TopNRequest{Weights: []float64{1}, N: 1})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("want 400 StatusError, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+func TestCancelledContextStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hj := w.(http.Hijacker)
+		conn, _, _ := hj.Hijack()
+		if conn != nil {
+			conn.Close()
+		}
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ep := New(ts.URL, Config{RetryReads: 5})
+	_, err := ep.TopN(ctx, server.TopNRequest{Weights: []float64{1}, N: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestReadyProbe(t *testing.T) {
+	status := atomic.Int64{}
+	status.Store(http.StatusOK)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/healthz/ready" {
+			t.Errorf("probe hit %s", r.URL.Path)
+		}
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer ts.Close()
+
+	ep := New(ts.URL, Config{})
+	if !ep.Ready(context.Background()) {
+		t.Fatal("200 not reported ready")
+	}
+	status.Store(http.StatusServiceUnavailable)
+	if ep.Ready(context.Background()) {
+		t.Fatal("503 reported ready")
+	}
+	ts.Close()
+	if ep.Ready(context.Background()) {
+		t.Fatal("dead endpoint reported ready")
+	}
+}
+
+func TestMetricsFetch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/metrics" {
+			t.Errorf("hit %s", r.URL.Path)
+		}
+		w.Write([]byte(`{"queries": 7}`))
+	}))
+	defer ts.Close()
+
+	ep := New(ts.URL, Config{})
+	raw, err := ep.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"queries": 7}` {
+		t.Fatalf("raw %q", raw)
+	}
+}
+
+// TestTimeoutBoundsAttempts: with a short per-attempt timeout, a
+// stalled server fails the call instead of hanging it.
+func TestTimeoutBoundsAttempts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server notices the client giving up (it
+		// only watches for disconnect once the body is consumed) and the
+		// deferred Close doesn't wait out the full stall.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-time.After(10 * time.Second):
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+
+	ep := New(ts.URL, Config{Timeout: 100 * time.Millisecond, RetryReads: -1})
+	start := time.Now()
+	_, err := ep.TopN(context.Background(), server.TopNRequest{Weights: []float64{1}, N: 1})
+	if err == nil {
+		t.Fatal("stalled server returned success")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout did not bound the attempt: %v", elapsed)
+	}
+}

@@ -1,0 +1,420 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// testCluster is S×R live onionserve instances behind httptest, plus
+// the one-node oracle over the same corpus.
+type testCluster struct {
+	endpoints [][]string
+	servers   [][]*server.Server
+	https     [][]*httptest.Server
+	oracle    *core.Index
+	recs      []core.Record
+}
+
+func startTestCluster(t testing.TB, part Partitioner, recs []core.Record, replicas int) *testCluster {
+	t.Helper()
+	oracle, err := core.Build(recs, core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := Partition(part, recs)
+	tc := &testCluster{
+		endpoints: make([][]string, len(parts)),
+		servers:   make([][]*server.Server, len(parts)),
+		https:     make([][]*httptest.Server, len(parts)),
+		oracle:    oracle,
+		recs:      recs,
+	}
+	for gi, p := range parts {
+		ix, err := core.Build(p, core.Options{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < replicas; r++ {
+			// Replicas share the built index: the server clones before
+			// mutating, so a shared starting snapshot is safe.
+			srv := server.New(ix, server.Config{})
+			hs := httptest.NewServer(srv.Handler())
+			tc.servers[gi] = append(tc.servers[gi], srv)
+			tc.https[gi] = append(tc.https[gi], hs)
+			tc.endpoints[gi] = append(tc.endpoints[gi], hs.URL)
+		}
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for gi := range tc.https {
+			for r := range tc.https[gi] {
+				tc.https[gi][r].Close()
+				tc.servers[gi][r].Close(ctx)
+			}
+		}
+	})
+	return tc
+}
+
+func requireSameRanking(t *testing.T, got, want []core.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID ||
+			math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+			t.Fatalf("rank %d: got (id=%d score=%v) want (id=%d score=%v)",
+				i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+}
+
+// noProbe is the test config: deterministic, no background probes, no
+// hedge timers racing the assertions.
+var noProbe = Config{ProbeInterval: -1, HedgeDelay: -1}
+
+func TestCoordinatorTopNMatchesOracle(t *testing.T) {
+	recs := testRecords(t, 3000, 3, 21)
+	part, _ := NewHashPartitioner(3)
+	tc := startTestCluster(t, part, recs, 1)
+	coord, err := New(part, tc.endpoints, noProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx := context.Background()
+	for _, w := range workload.QueryWeights(20, 3, 33) {
+		for _, n := range []int{1, 10, 50} {
+			res, err := coord.TopN(ctx, w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantStats, err := tc.oracle.TopN(w, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameRanking(t, res.Results, want)
+			if res.Failed != nil {
+				t.Fatalf("unexpected failed shards: %v", res.Failed)
+			}
+			// Work counters sum across shards; layer pruning differs per
+			// shard so only the evaluation floor is comparable: every shard
+			// must have evaluated at least its contribution.
+			if res.Stats.RecordsEvaluated < wantStats.RecordsEvaluated/3 {
+				t.Fatalf("implausibly low merged stats: %+v vs oracle %+v", res.Stats, wantStats)
+			}
+		}
+	}
+}
+
+func TestCoordinatorBatchMatchesOracle(t *testing.T) {
+	recs := testRecords(t, 2000, 3, 22)
+	part, _ := NewHashPartitioner(2)
+	tc := startTestCluster(t, part, recs, 1)
+	coord, err := New(part, tc.endpoints, noProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ws := workload.QueryWeights(8, 3, 44)
+	batch, err := coord.TopNBatch(context.Background(), ws, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Queries) != len(ws) {
+		t.Fatalf("%d answers for %d queries", len(batch.Queries), len(ws))
+	}
+	for q, w := range ws {
+		want, _, err := tc.oracle.TopN(w, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameRanking(t, batch.Queries[q].Results, want)
+	}
+}
+
+func TestCoordinatorPartialResults(t *testing.T) {
+	recs := testRecords(t, 1500, 3, 23)
+	part, _ := NewHashPartitioner(3)
+	tc := startTestCluster(t, part, recs, 1)
+	coord, err := New(part, tc.endpoints, Config{ProbeInterval: -1, HedgeDelay: -1, ShardTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Kill shard 1's only replica.
+	tc.https[1][0].Close()
+
+	w := []float64{0.4, 0.4, 0.2}
+	res, err := coord.TopN(context.Background(), w, 20)
+	var perr *PartialError
+	if !errors.As(err, &perr) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if got := perr.Shards(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("failed shards %v, want [1]", got)
+	}
+	if res == nil || len(res.Results) == 0 {
+		t.Fatal("partial failure must still return the surviving merge")
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != 1 {
+		t.Fatalf("result.Failed %v, want [1]", res.Failed)
+	}
+	// The surviving merge is exact over shards 0 and 2.
+	survivors := MergeTopN(shardRankings(t, tc, part, w, 20, map[int]bool{1: true}), 20)
+	requireSameRanking(t, res.Results, survivors)
+
+	// Kill the rest: total failure is an error, not a partial result.
+	tc.https[0][0].Close()
+	tc.https[2][0].Close()
+	if _, err := coord.TopN(context.Background(), w, 20); err == nil || errors.As(err, &perr) {
+		t.Fatalf("all-shards-down: want terminal error, got %v", err)
+	}
+}
+
+// shardRankings queries each live shard's index directly.
+func shardRankings(t *testing.T, tc *testCluster, part Partitioner, w []float64, n int, dead map[int]bool) [][]core.Result {
+	t.Helper()
+	parts := Partition(part, tc.recs)
+	var out [][]core.Result
+	for gi, p := range parts {
+		if dead[gi] {
+			continue
+		}
+		ix, err := core.Build(p, core.Options{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := ix.TopN(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func TestCoordinatorRoutesWrites(t *testing.T) {
+	recs := testRecords(t, 1000, 3, 24)
+	part, _ := NewHashPartitioner(3)
+	tc := startTestCluster(t, part, recs, 2)
+	coord, err := New(part, tc.endpoints, noProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := context.Background()
+
+	before := make([]int, 3)
+	for gi := range tc.servers {
+		before[gi] = tc.servers[gi][0].Snapshot().Len()
+	}
+
+	// Insert records with known owners; only the owning group (and both
+	// of its replicas) may grow.
+	fresh := workload.Points(workload.Gaussian, 30, 3, 99)
+	ins := make([]core.Record, len(fresh))
+	for i, p := range fresh {
+		ins[i] = core.Record{ID: uint64(5000 + i), Vector: p}
+	}
+	applied, err := coord.Insert(ctx, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(ins) {
+		t.Fatalf("applied %d, want %d", applied, len(ins))
+	}
+	wantGrowth := make([]int, 3)
+	for _, r := range ins {
+		o, _ := part.OwnerByID(r.ID)
+		wantGrowth[o]++
+	}
+	for gi := range tc.servers {
+		for ri, srv := range tc.servers[gi] {
+			got := srv.Snapshot().Len() - before[gi]
+			if got != wantGrowth[gi] {
+				t.Fatalf("shard %d replica %d grew by %d, want %d", gi, ri, got, wantGrowth[gi])
+			}
+		}
+	}
+
+	// Routed deletes: strict per-shard subsets, every replica converges.
+	del := []uint64{5000, 5001, 5002, 17, 42}
+	applied, err = coord.Delete(ctx, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(del) {
+		t.Fatalf("deleted %d, want %d", applied, len(del))
+	}
+	for gi := range tc.servers {
+		for ri, srv := range tc.servers[gi] {
+			snap := srv.Snapshot()
+			for _, id := range del {
+				if _, ok := snap.LayerOf(id); ok {
+					t.Fatalf("shard %d replica %d still holds deleted id %d", gi, ri, id)
+				}
+			}
+		}
+	}
+
+	// A missing ID fails the routed delete like a single node would.
+	if _, err := coord.Delete(ctx, []uint64{999_999}); err == nil {
+		t.Fatal("routed delete of a missing id succeeded")
+	}
+}
+
+func TestCoordinatorBroadcastDelete(t *testing.T) {
+	recs := testRecords(t, 1200, 3, 25)
+	part, err := NewClusterPartitioner(recs, 3, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := startTestCluster(t, part, recs, 1)
+	coord, err := New(part, tc.endpoints, noProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := context.Background()
+
+	// Cluster ownership is not ID-derivable → the delete broadcasts in
+	// missing-ok mode, and the total applied must equal the request.
+	del := []uint64{3, 57, 311, 902}
+	applied, err := coord.Delete(ctx, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(del) {
+		t.Fatalf("broadcast delete applied %d, want %d", applied, len(del))
+	}
+	for gi := range tc.servers {
+		snap := tc.servers[gi][0].Snapshot()
+		for _, id := range del {
+			if _, ok := snap.LayerOf(id); ok {
+				t.Fatalf("shard %d still holds deleted id %d", gi, id)
+			}
+		}
+	}
+
+	// An ID found nowhere surfaces core.ErrNotFound after the found ones
+	// applied — the documented broadcast semantics.
+	applied, err = coord.Delete(ctx, []uint64{5, 888_888})
+	if !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied %d of the findable ids, want 1", applied)
+	}
+}
+
+func TestCoordinatorWriteFailureNamesShard(t *testing.T) {
+	recs := testRecords(t, 600, 3, 26)
+	part, _ := NewHashPartitioner(2)
+	tc := startTestCluster(t, part, recs, 1)
+	coord, err := New(part, tc.endpoints, noProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	tc.https[1][0].Close()
+	// A record owned by the dead shard: find an ID hash-routed to 1.
+	id := uint64(10_001)
+	for {
+		if o, _ := part.OwnerByID(id); o == 1 {
+			break
+		}
+		id++
+	}
+	_, err = coord.Insert(context.Background(), []core.Record{{ID: id, Vector: []float64{1, 2, 3}}})
+	if err == nil {
+		t.Fatal("insert into a dead shard succeeded")
+	}
+}
+
+func TestCoordinatorReadiness(t *testing.T) {
+	recs := testRecords(t, 400, 3, 27)
+	part, _ := NewHashPartitioner(2)
+	tc := startTestCluster(t, part, recs, 2)
+	coord, err := New(part, tc.endpoints, Config{ProbeInterval: 50 * time.Millisecond, HedgeDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	if !coord.Ready() {
+		t.Fatal("fresh coordinator with live replicas not ready")
+	}
+	// Mark shard 0 administratively not ready on both replicas; the
+	// probe loop must notice and flip group and coordinator readiness.
+	tc.servers[0][0].SetReady(false)
+	tc.servers[0][1].SetReady(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.GroupReady(0) && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if coord.GroupReady(0) {
+		t.Fatal("probe loop never noticed both replicas going not-ready")
+	}
+	if coord.Ready() {
+		t.Fatal("coordinator ready with a dark group")
+	}
+	if !coord.GroupReady(1) {
+		t.Fatal("healthy group marked not ready")
+	}
+	// Queries still work: not-ready replicas are fanned to as a last
+	// resort (the server answers queries while administratively not
+	// ready; real recovery would answer 503 and fail over).
+	if _, err := coord.TopN(context.Background(), []float64{1, 1, 1}, 5); err != nil {
+		t.Fatalf("query during not-ready: %v", err)
+	}
+	// Recovery flips it back.
+	tc.servers[0][0].SetReady(true)
+	for !coord.GroupReady(0) && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !coord.Ready() {
+		t.Fatal("coordinator did not recover readiness")
+	}
+}
+
+func TestCoordinatorConfigValidation(t *testing.T) {
+	part, _ := NewHashPartitioner(2)
+	if _, err := New(part, [][]string{{"http://a"}}, noProbe); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	if _, err := New(part, [][]string{{"http://a"}, {}}, noProbe); err == nil {
+		t.Fatal("empty replica group accepted")
+	}
+	coord, err := New(part, [][]string{{"http://a"}, {"http://b"}}, noProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if _, err := coord.TopN(context.Background(), []float64{1}, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := coord.TopNBatch(context.Background(), nil, 5); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := coord.Insert(context.Background(), nil); err == nil {
+		t.Fatal("empty insert accepted")
+	}
+	if _, err := coord.Delete(context.Background(), nil); err == nil {
+		t.Fatal("empty delete accepted")
+	}
+}

@@ -1,0 +1,303 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/shard/client"
+)
+
+// The coordinator's HTTP surface mirrors onionserve's, deliberately:
+// a client that can talk to one node can talk to a cluster by changing
+// the URL. The coordinator-only extensions are additive — a "partial"
+// opt-in on queries, "failed_shards" on degraded answers, and a
+// cluster-shaped health document.
+
+// TopNRequest is the body of POST /v1/topn on a coordinator: the
+// single-node request plus the partial-results opt-in.
+type TopNRequest struct {
+	server.TopNRequest
+	// Partial opts into degraded answers: when a shard group fails, the
+	// response carries the exact merge over the surviving shards with
+	// "partial":true and the failed shard list, instead of an error.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// TopNResponse is the coordinator's answer. Partial/FailedShards are
+// present only on opted-in degraded answers.
+type TopNResponse struct {
+	server.TopNResponse
+	Partial      bool  `json:"partial,omitempty"`
+	FailedShards []int `json:"failed_shards,omitempty"`
+}
+
+// TopNBatchRequest is the batched form with the same opt-in.
+type TopNBatchRequest struct {
+	server.TopNBatchRequest
+	Partial bool `json:"partial,omitempty"`
+}
+
+// TopNBatchResponse answers a batch; a failed shard is missing from
+// every query of the batch, so the partial markers are response-level.
+type TopNBatchResponse struct {
+	server.TopNBatchResponse
+	Partial      bool  `json:"partial,omitempty"`
+	FailedShards []int `json:"failed_shards,omitempty"`
+}
+
+// ErrorResponse extends the single-node error body with the shards
+// that caused it, so a client seeing a partial-result failure knows
+// which groups were dark without parsing the message.
+type ErrorResponse struct {
+	Error        string `json:"error"`
+	FailedShards []int  `json:"failed_shards,omitempty"`
+}
+
+// HealthResponse is the coordinator's health document: readiness per
+// shard group rather than records per node.
+type HealthResponse struct {
+	OK     bool `json:"ok"`
+	Ready  bool `json:"ready"`
+	Shards int  `json:"shards"`
+	// ReadyReplicas[g] counts replicas of group g currently believed
+	// ready.
+	ReadyReplicas []int `json:"ready_replicas"`
+}
+
+// Handler returns the coordinator's HTTP surface.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topn", c.handleTopN)
+	mux.HandleFunc("POST /v1/topn/batch", c.handleTopNBatch)
+	mux.HandleFunc("POST /v1/insert", c.handleInsert)
+	mux.HandleFunc("POST /v1/delete", c.handleDelete)
+	mux.HandleFunc("GET /v1/metrics", c.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz/live", c.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz/ready", c.handleReady)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// statusOf maps a fan-out error onto an HTTP status: a shard's own
+// HTTP answer passes through (the coordinator adds no opinion), a
+// transport-level failure is a gateway problem.
+func statusOf(err error) int {
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadGateway
+}
+
+func (c *Coordinator) handleTopN(w http.ResponseWriter, r *http.Request) {
+	var req TopNRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Ranges) > 0 {
+		// Filtered queries don't shard yet: per-shard expansion depth is
+		// unbounded (shard-local rank says nothing about global rank once
+		// a predicate drops records), so exact pushdown needs a different
+		// protocol. Single nodes serve them; the coordinator is honest
+		// about not.
+		writeErr(w, http.StatusNotImplemented, "filtered top-n is not supported through the coordinator; query a shard node directly")
+		return
+	}
+	start := time.Now()
+	res, err := c.TopN(r.Context(), req.Weights, req.N)
+	c.metrics.topnLatency.Observe(time.Since(start))
+	var perr *PartialError
+	switch {
+	case err == nil:
+		// fall through to the full answer
+	case errors.As(err, &perr) && req.Partial:
+		// degraded-but-requested: fall through with markers
+	case errors.As(err, &perr):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: perr.Error(), FailedShards: perr.Shards()})
+		return
+	default:
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	resp := TopNResponse{TopNResponse: toWire(res)}
+	if len(res.Failed) > 0 {
+		resp.Partial = true
+		resp.FailedShards = res.Failed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleTopNBatch(w http.ResponseWriter, r *http.Request) {
+	var req TopNBatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	start := time.Now()
+	res, err := c.TopNBatch(r.Context(), req.Weights, req.N)
+	c.metrics.batchLatency.Observe(time.Since(start))
+	var perr *PartialError
+	switch {
+	case err == nil:
+	case errors.As(err, &perr) && req.Partial:
+	case errors.As(err, &perr):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: perr.Error(), FailedShards: perr.Shards()})
+		return
+	default:
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	resp := TopNBatchResponse{}
+	resp.Queries = make([]server.TopNResponse, len(res.Queries))
+	for q, tr := range res.Queries {
+		resp.Queries[q] = toWire(&tr)
+	}
+	if len(res.Failed) > 0 {
+		resp.Partial = true
+		resp.FailedShards = res.Failed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req server.InsertRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Records) == 0 {
+		writeErr(w, http.StatusBadRequest, "no records")
+		return
+	}
+	recs := make([]core.Record, len(req.Records))
+	for i, rec := range req.Records {
+		recs[i] = core.Record{ID: rec.ID, Vector: rec.Vector}
+	}
+	applied, err := c.Insert(r.Context(), recs)
+	if err != nil {
+		writeErr(w, statusOf(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, server.MutateResponse{Applied: applied})
+}
+
+func (c *Coordinator) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req server.DeleteRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeErr(w, http.StatusBadRequest, "no ids")
+		return
+	}
+	applied, err := c.Delete(r.Context(), req.IDs)
+	if err != nil {
+		status := statusOf(err)
+		if errors.Is(err, core.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, server.MutateResponse{Applied: applied})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, c.metrics.vars.String())
+}
+
+func (c *Coordinator) health() HealthResponse {
+	h := HealthResponse{
+		OK:            true,
+		Ready:         true,
+		Shards:        len(c.groups),
+		ReadyReplicas: make([]int, len(c.groups)),
+	}
+	for gi, g := range c.groups {
+		for _, r := range g.replicas {
+			if r.ready.Load() {
+				h.ReadyReplicas[gi]++
+			}
+		}
+		if h.ReadyReplicas[gi] == 0 {
+			h.Ready = false
+		}
+	}
+	return h
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.health())
+}
+
+func (c *Coordinator) handleReady(w http.ResponseWriter, _ *http.Request) {
+	h := c.health()
+	status := http.StatusOK
+	if !h.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// toWire converts a merged result into the single-node response shape.
+func toWire(res *TopNResult) server.TopNResponse {
+	rs := make([]server.ResultJSON, len(res.Results))
+	for i, r := range res.Results {
+		rs[i] = server.ResultJSON{ID: r.ID, Score: r.Score, Layer: r.Layer}
+	}
+	return server.TopNResponse{
+		Results: rs,
+		Stats: server.StatsJSON{
+			RecordsEvaluated: res.Stats.RecordsEvaluated,
+			LayersAccessed:   res.Stats.LayersAccessed,
+			LayersPruned:     res.Stats.LayersPruned,
+		},
+	}
+}
+
+// wireResults converts wire results back into core results (the
+// coordinator's merge works on core types so it shares the topk
+// comparator with the single-node walk).
+func wireResults(rs []server.ResultJSON) []core.Result {
+	out := make([]core.Result, len(rs))
+	for i, r := range rs {
+		out[i] = core.Result{ID: r.ID, Score: r.Score, Layer: r.Layer}
+	}
+	return out
+}
+
+func wireStats(st server.StatsJSON) core.Stats {
+	return core.Stats{
+		RecordsEvaluated: st.RecordsEvaluated,
+		LayersAccessed:   st.LayersAccessed,
+		LayersPruned:     st.LayersPruned,
+	}
+}

@@ -1,0 +1,282 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// startCoordinatorHTTP puts the coordinator's HTTP surface in front of
+// a live test cluster.
+func startCoordinatorHTTP(t *testing.T, tc *testCluster, part Partitioner, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	coord, err := New(part, tc.endpoints, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		coord.Close()
+	})
+	return coord, hs
+}
+
+func postCoord(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestCoordinatorHTTPTopN(t *testing.T) {
+	recs := testRecords(t, 1500, 3, 51)
+	part, _ := NewHashPartitioner(3)
+	tc := startTestCluster(t, part, recs, 1)
+	_, hs := startCoordinatorHTTP(t, tc, part, noProbe)
+
+	w := workload.QueryWeights(1, 3, 52)[0]
+	resp := postCoord(t, hs.URL+"/v1/topn", TopNRequest{TopNRequest: server.TopNRequest{Weights: w, N: 10}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got TopNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial || got.FailedShards != nil {
+		t.Fatalf("healthy cluster answered partial: %+v", got)
+	}
+	want, _, err := tc.oracle.TopN(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(got.Results), len(want))
+	}
+	for i, r := range got.Results {
+		if r.ID != want[i].ID || r.Score != want[i].Score {
+			t.Fatalf("rank %d: got %+v want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestCoordinatorHTTPBatch(t *testing.T) {
+	recs := testRecords(t, 1000, 3, 53)
+	part, _ := NewHashPartitioner(2)
+	tc := startTestCluster(t, part, recs, 1)
+	_, hs := startCoordinatorHTTP(t, tc, part, noProbe)
+
+	ws := workload.QueryWeights(4, 3, 54)
+	resp := postCoord(t, hs.URL+"/v1/topn/batch", TopNBatchRequest{TopNBatchRequest: server.TopNBatchRequest{Weights: ws, N: 5}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got TopNBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Queries) != len(ws) {
+		t.Fatalf("%d answers for %d queries", len(got.Queries), len(ws))
+	}
+	for q, w := range ws {
+		want, _, err := tc.oracle.TopN(w, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range got.Queries[q].Results {
+			if r.ID != want[i].ID || r.Score != want[i].Score {
+				t.Fatalf("query %d rank %d: got %+v want %+v", q, i, r, want[i])
+			}
+		}
+	}
+}
+
+// TestCoordinatorHTTPFilteredIs501 pins the honest-refusal contract:
+// the coordinator does not fake filtered pushdown.
+func TestCoordinatorHTTPFilteredIs501(t *testing.T) {
+	recs := testRecords(t, 300, 3, 55)
+	part, _ := NewHashPartitioner(2)
+	tc := startTestCluster(t, part, recs, 1)
+	_, hs := startCoordinatorHTTP(t, tc, part, noProbe)
+
+	req := TopNRequest{TopNRequest: server.TopNRequest{
+		Weights: []float64{1, 1, 1}, N: 5,
+		Ranges: []server.RangeJSON{{Attr: 0, Lo: 0, Hi: 1}},
+	}}
+	resp := postCoord(t, hs.URL+"/v1/topn", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestCoordinatorHTTPPartialOptIn(t *testing.T) {
+	recs := testRecords(t, 900, 3, 56)
+	part, _ := NewHashPartitioner(3)
+	tc := startTestCluster(t, part, recs, 1)
+	_, hs := startCoordinatorHTTP(t, tc, part, noProbe)
+
+	tc.https[2][0].Close() // shard 2 goes dark
+
+	base := server.TopNRequest{Weights: []float64{0.3, 0.3, 0.4}, N: 10}
+
+	// Without the opt-in: 503 naming the shard.
+	resp := postCoord(t, hs.URL+"/v1/topn", TopNRequest{TopNRequest: base})
+	var eresp ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if len(eresp.FailedShards) != 1 || eresp.FailedShards[0] != 2 {
+		t.Fatalf("failed_shards %v, want [2]", eresp.FailedShards)
+	}
+
+	// With the opt-in: 200, partial markers, surviving merge.
+	resp = postCoord(t, hs.URL+"/v1/topn", TopNRequest{TopNRequest: base, Partial: true})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("opt-in status %d, want 200", resp.StatusCode)
+	}
+	var got TopNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Partial || len(got.FailedShards) != 1 || got.FailedShards[0] != 2 {
+		t.Fatalf("partial markers wrong: partial=%v failed=%v", got.Partial, got.FailedShards)
+	}
+	if len(got.Results) == 0 {
+		t.Fatal("partial answer carried no surviving results")
+	}
+}
+
+func TestCoordinatorHTTPMutations(t *testing.T) {
+	recs := testRecords(t, 500, 3, 57)
+	part, _ := NewHashPartitioner(2)
+	tc := startTestCluster(t, part, recs, 1)
+	_, hs := startCoordinatorHTTP(t, tc, part, noProbe)
+
+	resp := postCoord(t, hs.URL+"/v1/insert", server.InsertRequest{
+		Records: []server.RecordJSON{{ID: 9001, Vector: []float64{1, 2, 3}}},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	var mr server.MutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Applied != 1 {
+		t.Fatalf("insert applied %d", mr.Applied)
+	}
+
+	resp2 := postCoord(t, hs.URL+"/v1/delete", server.DeleteRequest{IDs: []uint64{9001, 7}})
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp2.StatusCode)
+	}
+
+	// Deleting a missing ID maps to 404, like the single node.
+	resp3 := postCoord(t, hs.URL+"/v1/delete", server.DeleteRequest{IDs: []uint64{777_777}})
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing delete status %d, want 404", resp3.StatusCode)
+	}
+
+	// Malformed bodies are rejected up front.
+	for _, tc2 := range []struct {
+		path string
+		body string
+	}{
+		{"/v1/topn", `{nope`},
+		{"/v1/topn", `{"weights":[1,1,1],"n":5,"frobnicate":true}`},
+		{"/v1/insert", `{"records":[]}`},
+		{"/v1/delete", `{"ids":[]}`},
+	} {
+		resp, err := http.Post(hs.URL+tc2.path, "application/json", bytes.NewReader([]byte(tc2.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400", tc2.path, tc2.body, resp.StatusCode)
+		}
+	}
+}
+
+func TestCoordinatorHTTPHealthAndMetrics(t *testing.T) {
+	recs := testRecords(t, 400, 3, 58)
+	part, _ := NewHashPartitioner(2)
+	tc := startTestCluster(t, part, recs, 2)
+	coord, hs := startCoordinatorHTTP(t, tc, part, noProbe)
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	code, body := get("/v1/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ready || h.Shards != 2 || len(h.ReadyReplicas) != 2 || h.ReadyReplicas[0] != 2 {
+		t.Fatalf("health %+v", h)
+	}
+	if code, _ := get("/v1/healthz/live"); code != http.StatusOK {
+		t.Fatalf("live status %d", code)
+	}
+	if code, _ := get("/v1/healthz/ready"); code != http.StatusOK {
+		t.Fatalf("ready status %d", code)
+	}
+
+	// Mark one whole group not ready: ready flips 503, live stays 200.
+	for _, r := range coord.groups[0].replicas {
+		r.ready.Store(false)
+	}
+	if code, _ := get("/v1/healthz/ready"); code != http.StatusServiceUnavailable {
+		t.Fatalf("ready with dark group: status %d, want 503", code)
+	}
+	if code, _ := get("/v1/healthz/live"); code != http.StatusOK {
+		t.Fatalf("live with dark group: status %d, want 200", code)
+	}
+
+	// Metrics is a JSON document carrying the scatter-gather counters.
+	_, body = get("/v1/metrics")
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	for _, key := range []string{"queries", "hedges_fired", "hedge_wins", "shard_0_latency_ms", "shard_1_failures"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("metrics missing %q: %v", key, m)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/shard/client"
+)
+
+// Hedged replica fan-out. The tail-latency problem it solves: a
+// scatter-gather query is as slow as its slowest shard, so one replica
+// in a GC pause or a page-cache miss drags the whole merge. The classic
+// fix ("The Tail at Scale", reused here) is to give the primary replica
+// a head start of HedgeDelay and then fire the same idempotent read at
+// a backup; whichever answers first wins and the loser is cancelled
+// through its context — bounded extra load (only queries slower than
+// the delay hedge at all), big p99 cut.
+//
+// Failover is the error-driven cousin: a replica that answers with an
+// error (connection refused, 503 from a recovering node) immediately
+// forfeits to the next replica without waiting for the hedge timer.
+// Both mechanisms share one launch order — ready replicas first, round-
+// robin rotated — and one shard-level deadline.
+
+// hedged runs call against the replicas of group gi until one
+// succeeds, hedging after cfg.HedgeDelay and failing over on error.
+// The returned error is the first failure when every replica failed.
+// Safe only for idempotent reads: a call may execute on several
+// replicas concurrently.
+func hedged[T any](ctx context.Context, c *Coordinator, gi int, call func(context.Context, *client.Endpoint) (T, error)) (T, error) {
+	var zero T
+	g := c.groups[gi]
+	order := g.order()
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	// Cancelling on return is what reels the losing replica back in:
+	// its request context dies the moment the winner's response is
+	// accepted, aborting the in-flight HTTP request server-side too
+	// (onionserve's query walk is context-aware).
+	defer cancel()
+
+	type outcome struct {
+		v   T
+		err error
+		idx int // index into order
+	}
+	// Buffered to len(order): a loser finishing after the winner must
+	// never block on a channel nobody reads again.
+	ch := make(chan outcome, len(order))
+	launched := 0
+	hedgedLaunch := make([]bool, len(order)) // launch i was timer-driven
+	launch := func(viaTimer bool) {
+		if launched >= len(order) {
+			return
+		}
+		i := launched
+		launched++
+		hedgedLaunch[i] = viaTimer
+		r := order[i]
+		go func() {
+			v, err := call(ctx, r.ep)
+			// Passive readiness: transport-level failure marks the replica
+			// not ready (the probe loop or a later success restores it). An
+			// HTTP-level answer — even an error status — proves liveness.
+			var se *client.StatusError
+			if err == nil {
+				r.ready.Store(true)
+			} else if !errors.As(err, &se) && ctx.Err() == nil {
+				r.ready.Store(false)
+			}
+			ch <- outcome{v: v, err: err, idx: i}
+		}()
+	}
+	launch(false)
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if len(order) > 1 && c.cfg.HedgeDelay > 0 {
+		hedgeTimer = time.NewTimer(c.cfg.HedgeDelay)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	failures := 0
+	var firstErr error
+	for {
+		select {
+		case out := <-ch:
+			if out.err == nil {
+				if hedgedLaunch[out.idx] {
+					c.metrics.hedgeWins.Add(1)
+				}
+				return out.v, nil
+			}
+			failures++
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if launched < len(order) {
+				c.metrics.failovers.Add(1)
+				launch(false)
+			} else if failures == launched {
+				return zero, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(order) {
+				c.metrics.hedgesFired.Add(1)
+				launch(true)
+			}
+		case <-ctx.Done():
+			// Shard deadline or caller cancellation with no winner yet. The
+			// in-flight calls will fail fast on the dead context and drain
+			// into the buffered channel.
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+			return zero, firstErr
+		}
+	}
+}

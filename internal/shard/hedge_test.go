@@ -1,0 +1,247 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/shard/client"
+)
+
+// fakeReplica is a scripted onionserve stand-in for hedge-path tests:
+// real servers cannot be told to stall until cancelled.
+type fakeReplica struct {
+	*httptest.Server
+	started   chan struct{} // closed-ish: one send per request arrival
+	cancelled chan struct{} // one send per request whose context died
+}
+
+const fakeTopNBody = `{"results":[{"id":1,"score":2.5,"layer":1}],"stats":{"records_evaluated":1,"layers_accessed":1,"layers_pruned":0}}`
+
+// newFakeReplica serves /v1/topn with the given delay. A request that
+// outlives its context reports on the cancelled channel instead of
+// answering — exactly what a hedged loser should do.
+func newFakeReplica(t *testing.T, delay time.Duration, status int) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{
+		started:   make(chan struct{}, 16),
+		cancelled: make(chan struct{}, 16),
+	}
+	f.Server = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body before stalling: the net/http server only starts
+		// watching for client disconnect once the request body has been
+		// consumed, and cancellation observability is the whole point of
+		// this fake. (Real handlers decode the body up front.)
+		io.Copy(io.Discard, r.Body)
+		f.started <- struct{}{}
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				f.cancelled <- struct{}{}
+				return
+			}
+		}
+		if status != http.StatusOK {
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"scripted failure"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(fakeTopNBody))
+	}))
+	t.Cleanup(f.Server.Close)
+	return f
+}
+
+func newHedgeCoordinator(t *testing.T, cfg Config, replicas ...*fakeReplica) *Coordinator {
+	t.Helper()
+	part, err := NewHashPartitioner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, len(replicas))
+	for i, r := range replicas {
+		urls[i] = r.URL
+	}
+	coord, err := New(part, [][]string{urls}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	return coord
+}
+
+// TestHedgeFiresAndCancelsLoser is the tentpole's cancellation gate
+// (run under -race by CI): a stalled primary must see its request
+// context die once the hedged backup wins, and the hedge counters must
+// attribute the win to the timer-driven launch.
+func TestHedgeFiresAndCancelsLoser(t *testing.T) {
+	slow := newFakeReplica(t, 10*time.Second, http.StatusOK) // replica 0: primary on the first fan-out
+	fast := newFakeReplica(t, 0, http.StatusOK)
+	coord := newHedgeCoordinator(t, Config{
+		HedgeDelay:    10 * time.Millisecond,
+		ProbeInterval: -1,
+		// RetryReads off: a retried read would re-arrive at the slow
+		// replica and double the started count bookkeeping.
+		Client: client.Config{RetryReads: -1},
+	}, slow, fast)
+
+	res, err := coord.TopN(context.Background(), []float64{1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 1 || res.Results[0].ID != 1 || res.Results[0].Score != 2.5 {
+		t.Fatalf("unexpected results: %+v", res.Results)
+	}
+
+	// The slow primary was reached, then cancelled when the backup won.
+	select {
+	case <-slow.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("primary never saw the request")
+	}
+	select {
+	case <-slow.cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("losing replica's request context was never cancelled")
+	}
+	if got := coord.metrics.hedgesFired.Value(); got != 1 {
+		t.Fatalf("hedges fired = %d, want 1", got)
+	}
+	if got := coord.metrics.hedgeWins.Value(); got != 1 {
+		t.Fatalf("hedge wins = %d, want 1", got)
+	}
+	if got := coord.metrics.failovers.Value(); got != 0 {
+		t.Fatalf("failovers = %d, want 0 (timer-driven, not error-driven)", got)
+	}
+}
+
+// TestHedgePrimaryWinStillCancelsBackup covers the mirror image: the
+// primary answers after the hedge fired but before the backup; the
+// backup must be cancelled and the win must NOT count as a hedge win.
+func TestHedgePrimaryWinStillCancelsBackup(t *testing.T) {
+	primary := newFakeReplica(t, 60*time.Millisecond, http.StatusOK)
+	backup := newFakeReplica(t, 10*time.Second, http.StatusOK)
+	coord := newHedgeCoordinator(t, Config{
+		HedgeDelay:    10 * time.Millisecond,
+		ProbeInterval: -1,
+		Client:        client.Config{RetryReads: -1},
+	}, primary, backup)
+
+	if _, err := coord.TopN(context.Background(), []float64{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-backup.cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("losing backup's request context was never cancelled")
+	}
+	if got := coord.metrics.hedgesFired.Value(); got != 1 {
+		t.Fatalf("hedges fired = %d, want 1", got)
+	}
+	if got := coord.metrics.hedgeWins.Value(); got != 0 {
+		t.Fatalf("hedge wins = %d, want 0 (the primary won)", got)
+	}
+}
+
+// TestFailoverOnError: an HTTP-level failure forfeits to the next
+// replica immediately — no hedge timer involved — and an HTTP answer,
+// even an error, must not mark the replica transport-dead.
+func TestFailoverOnError(t *testing.T) {
+	failing := newFakeReplica(t, 0, http.StatusInternalServerError)
+	healthy := newFakeReplica(t, 0, http.StatusOK)
+	coord := newHedgeCoordinator(t, Config{
+		HedgeDelay:    time.Hour, // hedging effectively off: only failover can reach replica 1
+		ProbeInterval: -1,
+		Client:        client.Config{RetryReads: -1},
+	}, failing, healthy)
+
+	res, err := coord.TopN(context.Background(), []float64{1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 1 {
+		t.Fatalf("results %+v", res.Results)
+	}
+	if got := coord.metrics.failovers.Value(); got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+	if got := coord.metrics.hedgesFired.Value(); got != 0 {
+		t.Fatalf("hedges fired = %d, want 0", got)
+	}
+	// A 500 is an answer: the replica is alive, readiness must survive.
+	if !coord.groups[0].replicas[0].ready.Load() {
+		t.Fatal("HTTP-level error marked the replica transport-dead")
+	}
+}
+
+// TestAllReplicasFail: the shard's terminal error is the first failure.
+func TestAllReplicasFail(t *testing.T) {
+	a := newFakeReplica(t, 0, http.StatusInternalServerError)
+	b := newFakeReplica(t, 0, http.StatusBadGateway)
+	coord := newHedgeCoordinator(t, Config{
+		HedgeDelay:    -1,
+		ProbeInterval: -1,
+		Client:        client.Config{RetryReads: -1},
+	}, a, b)
+
+	_, err := coord.TopN(context.Background(), []float64{1, 1}, 1)
+	if err == nil {
+		t.Fatal("total failure returned success")
+	}
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("want the first replica's 500 as the terminal error, got %v", err)
+	}
+}
+
+// TestHedgeDisabled: with HedgeDelay negative no backup ever fires; a
+// slow primary is simply waited for.
+func TestHedgeDisabled(t *testing.T) {
+	slowish := newFakeReplica(t, 50*time.Millisecond, http.StatusOK)
+	backup := newFakeReplica(t, 0, http.StatusOK)
+	coord := newHedgeCoordinator(t, Config{
+		HedgeDelay:    -1,
+		ProbeInterval: -1,
+		Client:        client.Config{RetryReads: -1},
+	}, slowish, backup)
+
+	if _, err := coord.TopN(context.Background(), []float64{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.metrics.hedgesFired.Value(); got != 0 {
+		t.Fatalf("hedges fired = %d with hedging disabled", got)
+	}
+	select {
+	case <-backup.started:
+		t.Fatal("backup was contacted with hedging disabled and no failure")
+	default:
+	}
+}
+
+// TestShardTimeoutBoundsTheGroup: a group whose every replica stalls
+// past ShardTimeout fails with the deadline, not a hang.
+func TestShardTimeoutBoundsTheGroup(t *testing.T) {
+	slow1 := newFakeReplica(t, 10*time.Second, http.StatusOK)
+	slow2 := newFakeReplica(t, 10*time.Second, http.StatusOK)
+	coord := newHedgeCoordinator(t, Config{
+		HedgeDelay:    5 * time.Millisecond,
+		ShardTimeout:  150 * time.Millisecond,
+		ProbeInterval: -1,
+		Client:        client.Config{RetryReads: -1},
+	}, slow1, slow2)
+
+	start := time.Now()
+	_, err := coord.TopN(context.Background(), []float64{1, 1}, 1)
+	if err == nil {
+		t.Fatal("stalled group returned success")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shard timeout did not bound the fan-out: %v", elapsed)
+	}
+}

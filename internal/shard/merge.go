@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"repro/internal/core"
+	"repro/internal/topk"
+)
+
+// The scatter-gather merge. Exactness argument, spelled out once:
+//
+//  1. Every shard returns its top-min(n, |shard|) under the strict
+//     total order O = (score desc, ID asc). A record's score is a dot
+//     product of its own vector with the query weights — it does not
+//     depend on which shard holds the record — so per-shard scores are
+//     bit-identical to the scores the one-node index would compute.
+//  2. The global top-n under O is a subset of the union of per-shard
+//     top-ns: any record r in the global top-n beats (under O) all but
+//     at most n-1 records globally, hence all but at most n-1 records
+//     of its own shard, hence r is in its shard's top-n.
+//  3. O is a strict total order (IDs are unique), so sorting the union
+//     by O and truncating to n yields exactly the global top-n, in
+//     exactly the one-node order — independent of shard count, shard
+//     assignment, and arrival order of the per-shard responses.
+//
+// Layer annotations are the one field the merge cannot reconstruct: a
+// record's layer in its shard's (smaller) Onion is generally shallower
+// than in the one-node index. Merged results carry the shard-local
+// layer, documented as such; the bitwise oracle gate compares IDs,
+// score bits and order.
+
+// MergeTopN merges per-shard rankings (each sorted under the topk
+// total order, as every query path in this repository emits) into the
+// global top-n. Inputs are not modified. The merge is a k-way pick
+// over the sorted heads — O(S·n) comparisons with S shards, no
+// re-sorting — and uses topk.ResultGreater as the comparator, so the
+// merged order is definitionally the single-node order.
+func MergeTopN(perShard [][]core.Result, n int) []core.Result {
+	if n <= 0 {
+		return nil
+	}
+	total := 0
+	for _, rs := range perShard {
+		total += len(rs)
+	}
+	if total == 0 {
+		return nil
+	}
+	if total < n {
+		n = total
+	}
+	heads := make([]int, len(perShard))
+	out := make([]core.Result, 0, n)
+	for len(out) < n {
+		best := -1
+		for s, rs := range perShard {
+			if heads[s] >= len(rs) {
+				continue
+			}
+			if best < 0 {
+				best = s
+				continue
+			}
+			a, b := rs[heads[s]], perShard[best][heads[best]]
+			if topk.ResultGreater(a.Score, a.ID, b.Score, b.ID) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, perShard[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// MergeStats folds per-shard work counters into corpus-wide totals:
+// the records evaluated and layers touched to answer the query are the
+// sums of what every shard did. (Layers pruned likewise — each shard
+// prunes against its own bounds.)
+func MergeStats(per []core.Stats) core.Stats {
+	var out core.Stats
+	for _, st := range per {
+		out.RecordsEvaluated += st.RecordsEvaluated
+		out.LayersAccessed += st.LayersAccessed
+		out.LayersPruned += st.LayersPruned
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topk"
+)
+
+// naiveMerge is the specification: concatenate, sort under the topk
+// total order, truncate.
+func naiveMerge(perShard [][]core.Result, n int) []core.Result {
+	var all []core.Result
+	for _, rs := range perShard {
+		all = append(all, rs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return topk.ResultGreater(all[i].Score, all[i].ID, all[j].Score, all[j].ID)
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+func sortedRanking(rng *rand.Rand, ids []uint64) []core.Result {
+	rs := make([]core.Result, len(ids))
+	for i, id := range ids {
+		rs[i] = core.Result{ID: id, Score: rng.NormFloat64()}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		return topk.ResultGreater(rs[i].Score, rs[i].ID, rs[j].Score, rs[j].ID)
+	})
+	return rs
+}
+
+func TestMergeTopNMatchesNaiveMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		shards := 1 + rng.Intn(6)
+		perShard := make([][]core.Result, shards)
+		id := uint64(1)
+		for s := range perShard {
+			ids := make([]uint64, rng.Intn(30))
+			for i := range ids {
+				ids[i] = id
+				id++
+			}
+			perShard[s] = sortedRanking(rng, ids)
+		}
+		n := 1 + rng.Intn(40)
+		got := MergeTopN(perShard, n)
+		want := naiveMerge(perShard, n)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+				t.Fatalf("trial %d rank %d: got %+v want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeTopNEdgeCases(t *testing.T) {
+	if got := MergeTopN(nil, 10); got != nil {
+		t.Fatalf("nil shards: got %v", got)
+	}
+	if got := MergeTopN([][]core.Result{{}, {}}, 10); got != nil {
+		t.Fatalf("empty shards: got %v", got)
+	}
+	one := [][]core.Result{{{ID: 1, Score: 2}}}
+	if got := MergeTopN(one, 0); got != nil {
+		t.Fatalf("n=0: got %v", got)
+	}
+	if got := MergeTopN(one, 5); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("n beyond total: got %v", got)
+	}
+}
+
+// TestMergeTopNTieOrder pins the tie-break: equal scores across shards
+// merge in ascending ID order regardless of which shard holds which.
+func TestMergeTopNTieOrder(t *testing.T) {
+	a := []core.Result{{ID: 4, Score: 1.0}, {ID: 5, Score: 0.5}}
+	b := []core.Result{{ID: 2, Score: 1.0}, {ID: 9, Score: 1.0}}
+	got := MergeTopN([][]core.Result{a, b}, 4)
+	wantIDs := []uint64{2, 4, 9, 5}
+	for i, id := range wantIDs {
+		if got[i].ID != id {
+			t.Fatalf("rank %d: got id %d, want %d (full: %+v)", i, got[i].ID, id, got)
+		}
+	}
+}
+
+func TestMergeStatsSums(t *testing.T) {
+	got := MergeStats([]core.Stats{
+		{RecordsEvaluated: 10, LayersAccessed: 2, LayersPruned: 1},
+		{RecordsEvaluated: 7, LayersAccessed: 3, LayersPruned: 0},
+	})
+	if got.RecordsEvaluated != 17 || got.LayersAccessed != 5 || got.LayersPruned != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}

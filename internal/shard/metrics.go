@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"expvar"
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// Scatter-gather telemetry. Same conventions as internal/server: a
+// per-coordinator expvar.Map (never the process-global registry, so
+// tests and embedded coordinators don't collide) and
+// telemetry.Histogram for every latency, so /v1/metrics on a
+// coordinator reads like /v1/metrics on a shard — one shape end to
+// end. The per-shard histograms are the operational payoff of the
+// subsystem: tail latency of the merge is the max over shards, so the
+// slow shard is visible by name, and the hedge fire/win counters say
+// whether request hedging is actually buying its cost.
+type metrics struct {
+	queries          expvar.Int // /v1/topn fan-outs completed (incl. partial)
+	batchRequests    expvar.Int // /v1/topn/batch fan-outs completed
+	hedgesFired      expvar.Int // backup requests launched after HedgeDelay
+	hedgeWins        expvar.Int // fan-outs where the backup answered first
+	failovers        expvar.Int // replicas retried after an error (not hedge-timed)
+	shardFailures    expvar.Int // shard groups that failed a fan-out entirely
+	partialResults   expvar.Int // fan-outs answered with >=1 shard missing
+	totalFailures    expvar.Int // fan-outs with zero shards answering
+	insertOps        expvar.Int // insert requests routed
+	deleteOps        expvar.Int // delete requests routed or broadcast
+	writeFailures    expvar.Int // write fan-outs with >=1 replica failing
+	probesPerformed  expvar.Int // readiness probes issued
+	replicasNotReady expvar.Int // probes that found a replica not ready
+
+	topnLatency  *telemetry.Histogram // whole fan-out+merge, /v1/topn
+	batchLatency *telemetry.Histogram // whole fan-out+merge, /v1/topn/batch
+
+	// perShard[g] tracks group g across every fan-out.
+	perShard []shardMetrics
+
+	vars *expvar.Map
+}
+
+// shardMetrics is one shard group's slice of the telemetry.
+type shardMetrics struct {
+	latency  *telemetry.Histogram // hedged group query, first success
+	failures *expvar.Int          // fan-outs this group failed entirely
+}
+
+func newMetrics(shards int) *metrics {
+	m := &metrics{
+		topnLatency:  &telemetry.Histogram{},
+		batchLatency: &telemetry.Histogram{},
+		perShard:     make([]shardMetrics, shards),
+	}
+	v := new(expvar.Map).Init()
+	v.Set("queries", &m.queries)
+	v.Set("batch_requests", &m.batchRequests)
+	v.Set("hedges_fired", &m.hedgesFired)
+	v.Set("hedge_wins", &m.hedgeWins)
+	v.Set("failovers", &m.failovers)
+	v.Set("shard_failures", &m.shardFailures)
+	v.Set("partial_results", &m.partialResults)
+	v.Set("total_failures", &m.totalFailures)
+	v.Set("insert_ops", &m.insertOps)
+	v.Set("delete_ops", &m.deleteOps)
+	v.Set("write_failures", &m.writeFailures)
+	v.Set("probes_performed", &m.probesPerformed)
+	v.Set("replicas_not_ready", &m.replicasNotReady)
+	v.Set("topn_latency_ms", expvar.Func(func() any { return m.topnLatency.Summary() }))
+	v.Set("batch_latency_ms", expvar.Func(func() any { return m.batchLatency.Summary() }))
+	for g := 0; g < shards; g++ {
+		sm := shardMetrics{latency: &telemetry.Histogram{}, failures: new(expvar.Int)}
+		m.perShard[g] = sm
+		v.Set(fmt.Sprintf("shard_%d_latency_ms", g), expvar.Func(func() any { return sm.latency.Summary() }))
+		v.Set(fmt.Sprintf("shard_%d_failures", g), sm.failures)
+	}
+	m.vars = v
+	return m
+}
+
+// Vars exposes the coordinator's metric map (served on /v1/metrics).
+func (c *Coordinator) Vars() *expvar.Map { return c.metrics.vars }

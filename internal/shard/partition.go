@@ -1,0 +1,162 @@
+// Package shard distributes an Onion index across multiple onionserve
+// nodes and makes the distribution invisible to correctness. The load-
+// bearing fact (paper Theorem 1 plus one line of set algebra): the
+// top-N of a union is contained in the union of per-subset top-Ns, so
+// a coordinator that fans a linear query out to S shards, collects each
+// shard's top-N over its own Onion index, and merges under the same
+// strict total order the single-node walk uses (descending score, ties
+// by ascending ID — internal/topk) returns exactly the records, scores
+// and order a one-node index over the whole corpus would have returned.
+// No shard needs to know about any other; exactness survives sharding
+// with zero coordination beyond the merge.
+//
+// The package supplies the three pieces of that argument: Partitioner
+// (who owns which record), MergeTopN (the order-preserving merge), and
+// Coordinator (scatter-gather with replica groups, hedged requests and
+// typed partial-result degradation). cmd/onioncoord wraps Coordinator
+// in the same JSON/HTTP surface onionserve exposes, so clients cannot
+// tell a coordinator from a very large single node.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Partitioner assigns every record to exactly one shard. Queries never
+// consult it — a linear query must visit every shard regardless of the
+// partitioning — but the write path routes each insert and (when the
+// owner is derivable) each delete to the single owning shard group.
+type Partitioner interface {
+	// NumShards returns the shard count S; owners are in [0, S).
+	NumShards() int
+	// Owner returns the shard owning a record. The vector may be
+	// consulted (cluster-aware partitioning) or ignored (hash).
+	Owner(id uint64, vector []float64) int
+	// OwnerByID returns the owning shard when it is derivable from the
+	// ID alone. ok=false (cluster-aware partitioning: ownership depends
+	// on the vector, which a delete request does not carry) tells the
+	// coordinator to broadcast deletes instead of routing them.
+	OwnerByID(id uint64) (int, bool)
+}
+
+// HashPartitioner is the default: shard = mix(ID) mod S. IDs are
+// application-assigned and often sequential, so they are run through a
+// splitmix64-style finalizer first — without it, mod S would send long
+// ID runs to shards in lockstep and skew any corpus whose IDs correlate
+// with insertion order.
+type HashPartitioner struct{ Shards int }
+
+// NewHashPartitioner returns a hash partitioner over s shards.
+func NewHashPartitioner(s int) (HashPartitioner, error) {
+	if s <= 0 {
+		return HashPartitioner{}, fmt.Errorf("shard: shard count %d out of range", s)
+	}
+	return HashPartitioner{Shards: s}, nil
+}
+
+// NumShards implements Partitioner.
+func (p HashPartitioner) NumShards() int { return p.Shards }
+
+// Owner implements Partitioner; the vector is ignored.
+func (p HashPartitioner) Owner(id uint64, _ []float64) int {
+	o, _ := p.OwnerByID(id)
+	return o
+}
+
+// OwnerByID implements Partitioner; hash ownership is always derivable.
+func (p HashPartitioner) OwnerByID(id uint64) (int, bool) {
+	return int(mix64(id) % uint64(p.Shards)), true
+}
+
+// mix64 is the splitmix64 output finalizer: a cheap bijection whose
+// low bits depend on every input bit.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ClusterPartitioner assigns records to the shard whose k-means
+// centroid is nearest (ties by lower shard index), giving each shard a
+// spatially coherent slice of the corpus. The payoff is per-shard layer
+// depth: a shard holding one cluster peels far fewer, fuller layers
+// than a shard holding a random sample, so directional queries touch
+// fewer records per shard (the same locality argument as the paper's
+// Section 4 hierarchy, applied across machines). Ownership depends on
+// the vector, so deletes cannot be routed by ID — see OwnerByID.
+type ClusterPartitioner struct {
+	centers [][]float64
+}
+
+// NewClusterPartitioner learns s centroids from the given records with
+// the k-means of internal/cluster (k-means++ seeding, deterministic
+// under seed). The records are typically the initial corpus or a
+// sample of it; later inserts are assigned to the nearest learned
+// centroid without re-clustering.
+func NewClusterPartitioner(recs []core.Record, s int, seed int64) (*ClusterPartitioner, error) {
+	if s <= 0 {
+		return nil, fmt.Errorf("shard: shard count %d out of range", s)
+	}
+	if len(recs) < s {
+		return nil, fmt.Errorf("shard: %d records cannot seed %d cluster shards", len(recs), s)
+	}
+	pts := make([][]float64, len(recs))
+	for i, r := range recs {
+		pts[i] = r.Vector
+	}
+	res, err := cluster.KMeans(pts, s, cluster.Options{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("shard: cluster partitioning: %w", err)
+	}
+	return &ClusterPartitioner{centers: res.Centers}, nil
+}
+
+// NumShards implements Partitioner.
+func (p *ClusterPartitioner) NumShards() int { return len(p.centers) }
+
+// Owner implements Partitioner: nearest centroid by squared Euclidean
+// distance, ties broken by the lower shard index so assignment is a
+// pure function of the vector.
+func (p *ClusterPartitioner) Owner(_ uint64, vector []float64) int {
+	best, bestD := 0, sqDist(p.centers[0], vector)
+	for c := 1; c < len(p.centers); c++ {
+		if d := sqDist(p.centers[c], vector); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// OwnerByID implements Partitioner: never derivable — cluster
+// ownership is a function of the vector.
+func (p *ClusterPartitioner) OwnerByID(uint64) (int, bool) { return 0, false }
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Partition splits records into per-shard slices by owner, preserving
+// relative order within each shard. It is how a corpus is initially
+// dealt out to shard builders (onionbench -shard-scaling, onionctl
+// tooling); the coordinator uses the same Partitioner for routing, so
+// built shards and routed writes agree on ownership.
+func Partition(p Partitioner, recs []core.Record) [][]core.Record {
+	out := make([][]core.Record, p.NumShards())
+	for _, r := range recs {
+		o := p.Owner(r.ID, r.Vector)
+		out[o] = append(out[o], r)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func testRecords(t testing.TB, n, dim int, seed int64) []core.Record {
+	t.Helper()
+	pts := workload.Points(workload.Gaussian, n, dim, seed)
+	recs := make([]core.Record, n)
+	for i, p := range pts {
+		recs[i] = core.Record{ID: uint64(i + 1), Vector: p}
+	}
+	return recs
+}
+
+func TestHashPartitionerDeterministicAndInRange(t *testing.T) {
+	p, err := NewHashPartitioner(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 10_000; id++ {
+		o := p.Owner(id, nil)
+		if o < 0 || o >= 5 {
+			t.Fatalf("id %d: owner %d out of range", id, o)
+		}
+		byID, ok := p.OwnerByID(id)
+		if !ok {
+			t.Fatalf("hash ownership must be ID-derivable")
+		}
+		if byID != o {
+			t.Fatalf("id %d: Owner=%d OwnerByID=%d", id, o, byID)
+		}
+		if again := p.Owner(id, []float64{1, 2}); again != o {
+			t.Fatalf("id %d: owner changed with vector present", id)
+		}
+	}
+}
+
+// TestHashPartitionerBalancesSequentialIDs pins the reason for the
+// splitmix finalizer: sequential IDs (the common case) must spread
+// evenly, not stripe.
+func TestHashPartitionerBalancesSequentialIDs(t *testing.T) {
+	const shards, n = 4, 40_000
+	p, err := NewHashPartitioner(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for id := uint64(1); id <= n; id++ {
+		o, _ := p.OwnerByID(id)
+		counts[o]++
+	}
+	want := n / shards
+	for s, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("shard %d holds %d of %d records (>10%% off an even split: %v)", s, c, n, counts)
+		}
+	}
+}
+
+func TestHashPartitionerRejectsBadCounts(t *testing.T) {
+	for _, s := range []int{0, -1} {
+		if _, err := NewHashPartitioner(s); err == nil {
+			t.Fatalf("shard count %d accepted", s)
+		}
+	}
+}
+
+func TestClusterPartitionerAssignsNearestCentroid(t *testing.T) {
+	recs := testRecords(t, 2000, 3, 7)
+	p, err := NewClusterPartitioner(recs, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards() != 4 {
+		t.Fatalf("NumShards=%d", p.NumShards())
+	}
+	if _, ok := p.OwnerByID(17); ok {
+		t.Fatal("cluster ownership must not be ID-derivable")
+	}
+	for _, r := range recs[:200] {
+		o := p.Owner(r.ID, r.Vector)
+		d := sqDist(p.centers[o], r.Vector)
+		for c := range p.centers {
+			if dc := sqDist(p.centers[c], r.Vector); dc < d {
+				t.Fatalf("record %d assigned to shard %d (dist %g) but shard %d is closer (%g)", r.ID, o, d, c, dc)
+			}
+		}
+	}
+	// Determinism under the same seed.
+	p2, err := NewClusterPartitioner(recs, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if p.Owner(r.ID, r.Vector) != p2.Owner(r.ID, r.Vector) {
+			t.Fatalf("cluster partitioning not deterministic under a fixed seed")
+		}
+	}
+}
+
+func TestClusterPartitionerRejectsTinyCorpus(t *testing.T) {
+	recs := testRecords(t, 3, 2, 1)
+	if _, err := NewClusterPartitioner(recs, 5, 1); err == nil {
+		t.Fatal("3 records accepted to seed 5 shards")
+	}
+}
+
+func TestPartitionCoversEveryRecordOnce(t *testing.T) {
+	recs := testRecords(t, 5000, 3, 11)
+	for _, newPart := range []func() Partitioner{
+		func() Partitioner { p, _ := NewHashPartitioner(3); return p },
+		func() Partitioner { p, _ := NewClusterPartitioner(recs, 3, 11); return p },
+	} {
+		p := newPart()
+		parts := Partition(p, recs)
+		if len(parts) != 3 {
+			t.Fatalf("got %d partitions", len(parts))
+		}
+		seen := make(map[uint64]int, len(recs))
+		total := 0
+		for s, part := range parts {
+			var prev uint64
+			for i, r := range part {
+				seen[r.ID]++
+				total++
+				if owner := p.Owner(r.ID, r.Vector); owner != s {
+					t.Fatalf("record %d placed on shard %d but owned by %d", r.ID, s, owner)
+				}
+				// Relative order preserved within a shard (IDs were assigned
+				// ascending in the input).
+				if i > 0 && r.ID <= prev {
+					t.Fatalf("shard %d: order not preserved (%d after %d)", s, r.ID, prev)
+				}
+				prev = r.ID
+			}
+		}
+		if total != len(recs) {
+			t.Fatalf("partitions hold %d records, want %d", total, len(recs))
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("record %d appears %d times", id, c)
+			}
+		}
+	}
+}

@@ -167,6 +167,20 @@ func itemGreater(a, b Item) bool {
 	return a.ID < b.ID
 }
 
+// ResultGreater reports whether (scoreA, idA) ranks strictly before
+// (scoreB, idB) under the package's total order — descending score,
+// equal scores by ascending record ID. It is the same comparator the
+// collectors above use, exported on raw fields so consumers keyed by
+// application IDs (uint64, wider than Item.ID) — notably the
+// cross-shard scatter-gather merge — order results by the exact rule
+// the single-node query walk used to produce them.
+func ResultGreater(scoreA float64, idA uint64, scoreB float64, idB uint64) bool {
+	if scoreA != scoreB {
+		return scoreA > scoreB
+	}
+	return idA < idB
+}
+
 // MaxHeap is an unbounded max-heap of Items under the package's total
 // order (descending score, ties by ascending ID). The Onion query
 // processor uses it as the candidate set: records from outer layers

@@ -46,7 +46,8 @@ echo "== parallel build determinism smoke (onionbench -build-scaling)"
 smoke_out="$(mktemp)"
 query_out="$(mktemp)"
 cache_out="$(mktemp)"
-trap 'rm -f "$smoke_out" "$query_out" "$cache_out"' EXIT
+shard_out="$(mktemp)"
+trap 'rm -f "$smoke_out" "$query_out" "$cache_out" "$shard_out"' EXIT
 go run ./cmd/onionbench -build-scaling -n 8000 -build-workers 1,4 -build-out "$smoke_out"
 
 # Query-path equivalence smoke: a small -query-scaling sweep
@@ -67,5 +68,15 @@ go run ./cmd/onionbench -query-scaling -n 3000 -queries 32 -query-workers 1,4 -q
 # BENCH_cache.json is the full-size (100k×4D) run of the same gate.
 echo "== result cache equivalence smoke (onionbench -cache-scaling)"
 go run ./cmd/onionbench -cache-scaling -n 3000 -queries 64 -cache-out "$cache_out"
+
+# Scatter-gather equivalence smoke: a 3-shard in-process cluster (plus
+# single-shard and replicated configurations) behind the coordinator,
+# gated bitwise (IDs, score bits, order) against a one-node oracle over
+# the same corpus — queries, the batch endpoint, and coordinator-routed
+# mutations — and a slowed-replica hedge exercise that must fire, win,
+# and change nothing. go vet above already covers internal/shard and
+# cmd/onioncoord. The committed BENCH_shard.json is the full-size run.
+echo "== sharded serving equivalence smoke (onionbench -shard-scaling)"
+go run ./cmd/onionbench -shard-scaling -n 3000 -queries 24 -shard-counts 1,3 -shard-replicas 1,2 -shard-out "$shard_out"
 
 echo "CI OK"
