@@ -61,6 +61,13 @@ var (
 	shardReplicasFlag = flag.String("shard-replicas", "1,2", "shard-scaling: comma-separated replica counts per shard group")
 	shardOutFlag      = flag.String("shard-out", "BENCH_shard.json", "shard-scaling: summary JSON output path")
 
+	mixedFlag     = flag.Bool("mixed-workload", false, "drive an in-process onionserve with concurrent readers and a sustained mutation stream instead of running experiments; gates sampled queries against brute force and the final snapshot against a rebuild oracle, emits -mixed-out JSON")
+	mixedReaders  = flag.Int("mixed-readers", 4, "mixed-workload: concurrent reader goroutines")
+	mixedRateFlag = flag.Int("mixed-rate", 200, "mixed-workload: target mutations per second (0 = unthrottled)")
+	mixedDurFlag  = flag.Duration("mixed-dur", 20*time.Second, "mixed-workload: measurement duration")
+	mixedDTFlag   = flag.Int("mixed-delta-threshold", 0, "mixed-workload: server delta compaction threshold (0 = server default, negative = legacy synchronous cascade)")
+	mixedOutFlag  = flag.String("mixed-out", "BENCH_write.json", "mixed-workload: summary JSON output path")
+
 	serveLoadFlag = flag.String("serve-load", "", "load-test a query server instead of running experiments: a base URL like http://host:8080, or 'self' to serve a synthetic corpus in-process")
 	serveConcFlag = flag.Int("serve-conc", 16, "serve-load: concurrent clients")
 	serveDurFlag  = flag.Duration("serve-dur", 10*time.Second, "serve-load: measurement duration")
@@ -150,6 +157,13 @@ func main() {
 			}
 		})
 		shardScaling(sn, sq, *shardCountsFlag, *shardReplicasFlag, *shardOutFlag)
+		return
+	}
+	if *mixedFlag {
+		// Unlike the scaling sweeps this mode builds the corpus once, so
+		// the committed baseline runs at the experiment suite's full 1M
+		// scale; -n/-quick shrink it for CI smokes.
+		mixedWorkload(n, *mixedReaders, *mixedRateFlag, *mixedDurFlag, *mixedDTFlag, *mixedOutFlag)
 		return
 	}
 	if *serveLoadFlag != "" {

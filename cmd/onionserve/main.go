@@ -18,8 +18,11 @@
 //	GET  /v1/healthz
 //
 // Queries run lock-free against an immutable snapshot; mutations are
-// batched by a single mutator goroutine and published by atomic
-// pointer swap (see internal/server). With -data-dir, every mutation
+// batched by a single mutator goroutine, absorbed into an unlayered
+// delta buffer that every query merges on the total order, and
+// published by atomic pointer swap in O(delta) — a background
+// compactor folds the buffer into the layered index past
+// -delta-threshold (see internal/server). With -data-dir, every mutation
 // batch is group-committed to a write-ahead log before its snapshot is
 // published, and restart recovers the newest checkpoint plus the log's
 // valid prefix (see internal/wal and the README's Durability section).
@@ -59,6 +62,7 @@ var (
 	timeoutFlag  = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline")
 	resultsFlag  = flag.Int("max-results", 100_000, "cap on topn n / search limit (0 = unlimited)")
 	batchFlag    = flag.Int("max-batch", 32, "max mutations coalesced per snapshot rebuild")
+	deltaFlag    = flag.Int("delta-threshold", 0, "pending delta-buffer records that trigger background compaction (0 = 4096, negative = synchronous cascades on every mutation batch)")
 	saveFlag     = flag.String("save-on-exit", "", "persist the final snapshot to this path on shutdown")
 	parFlag      = flag.Int("parallelism", 0, "worker bound for hull maintenance and large-layer query scoring (0 = one per CPU, 1 = sequential)")
 	dataDirFlag  = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints; mutations become durable and restarts recover the last published state")
@@ -106,12 +110,13 @@ func main() {
 	log.Printf("index ready: %d records, %d attributes, %d layers", ix.Len(), ix.Dim(), ix.NumLayers())
 
 	cfg := server.Config{
-		MaxInFlight:  *inflightFlag,
-		MaxBatchOps:  *batchFlag,
-		QueryTimeout: *timeoutFlag,
-		MaxResults:   *resultsFlag,
-		CacheBytes:   *cacheFlag,
-		CacheShards:  *cShardsFlag,
+		MaxInFlight:    *inflightFlag,
+		MaxBatchOps:    *batchFlag,
+		QueryTimeout:   *timeoutFlag,
+		MaxResults:     *resultsFlag,
+		CacheBytes:     *cacheFlag,
+		CacheShards:    *cShardsFlag,
+		DeltaThreshold: *deltaFlag,
 	}
 	if mgr != nil {
 		// Assign only when a manager exists: a nil *wal.Manager stored in

@@ -34,8 +34,8 @@ func (ix *Index) TopNFiltered(weights []float64, n int, pred func(id uint64, vec
 		if !ok {
 			break
 		}
-		p := ix.posOf[r.ID]
-		if pred(r.ID, ix.pts[p]) {
+		v, _ := ix.Vector(r.ID) // delta-aware: the record may be unlayered
+		if pred(r.ID, v) {
 			out = append(out, r)
 		}
 	}

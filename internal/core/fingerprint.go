@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 )
 
@@ -41,6 +42,60 @@ func (ix *Index) Fingerprint() string {
 		put(uint64(len(ids)))
 		for _, id := range ids {
 			put(id)
+		}
+	}
+	// A pending delta is part of the logical state: fold in its sorted
+	// insert IDs and tombstone IDs behind a sentinel. An empty delta
+	// contributes nothing, so delta-free indexes keep their historical
+	// fingerprints (the WAL recovery oracle depends on that).
+	if ix.delta != nil {
+		put(^uint64(0))
+		ids = ids[:0]
+		for _, r := range ix.delta.recs {
+			ids = append(ids, r.ID)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		put(uint64(len(ids)))
+		for _, id := range ids {
+			put(id)
+		}
+		ids = ids[:0]
+		for id := range ix.delta.dead {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		put(uint64(len(ids)))
+		for _, id := range ids {
+			put(id)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ContentFingerprint hashes the index's logical content: the sorted
+// (ID, vector-bits) multiset of live records, ignoring layer structure
+// entirely. Two indexes content-fingerprint equal iff they hold the
+// same records — whether one carries a pending delta buffer and the
+// other was rebuilt from scratch. This is the recovery oracle for the
+// incremental write path: WAL replay re-cascades operations, so the
+// recovered layer partition legitimately differs from a live snapshot
+// whose recent mutations still sit in the delta, but the record set
+// (and therefore every query answer) must match exactly.
+func (ix *Index) ContentFingerprint() string {
+	recs := ix.Records()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(len(recs)))
+	put(uint64(ix.dim))
+	for _, r := range recs {
+		put(r.ID)
+		for _, x := range r.Vector {
+			put(math.Float64bits(x))
 		}
 	}
 	return fmt.Sprintf("%016x", h.Sum64())

@@ -79,6 +79,12 @@ type Index struct {
 	slabs    []layerSlab
 	maxLayer int  // size of the largest layer when slabs are present
 	noPrune  bool // disables bound-based layer pruning (benchmarks/ablation)
+
+	// Incremental write path (see delta.go): pending unlayered
+	// mutations merged into every query, and the shared-base marker
+	// that keeps structural maintenance off shallow clones.
+	delta  *deltaState
+	shared bool
 }
 
 // Build peels records into a layered convex hull. Record IDs must be
@@ -196,8 +202,15 @@ func (ix *Index) Parallelism() int { return ix.workers }
 // Dim returns the number of numerical attributes.
 func (ix *Index) Dim() int { return ix.dim }
 
-// Len returns the number of live records.
-func (ix *Index) Len() int { return len(ix.posOf) }
+// Len returns the number of live records, looking through any pending
+// delta: tombstoned base records are excluded, delta inserts included.
+func (ix *Index) Len() int {
+	n := len(ix.posOf)
+	if ix.delta != nil {
+		n += len(ix.delta.recs) - len(ix.delta.dead)
+	}
+	return n
+}
 
 // NumLayers returns the number of layers.
 func (ix *Index) NumLayers() int { return len(ix.layers) }
@@ -225,8 +238,17 @@ func (ix *Index) Layer(k int) []Record {
 }
 
 // LayerOf returns the 0-based layer of the record with the given ID, or
-// ok=false if no such record exists.
+// ok=false if no such record exists. Records pending in the delta
+// buffer are not layered yet and report layer -1.
 func (ix *Index) LayerOf(id uint64) (int, bool) {
+	if ix.delta != nil {
+		if _, ok := ix.delta.byID[id]; ok {
+			return -1, true
+		}
+		if ix.delta.dead[id] {
+			return 0, false
+		}
+	}
 	p, ok := ix.posOf[id]
 	if !ok {
 		return 0, false
@@ -234,8 +256,17 @@ func (ix *Index) LayerOf(id uint64) (int, bool) {
 	return ix.layerOf[p], true
 }
 
-// Vector returns the attribute vector of the record with the given ID.
+// Vector returns the attribute vector of the record with the given ID,
+// looking through any pending delta.
 func (ix *Index) Vector(id uint64) ([]float64, bool) {
+	if ix.delta != nil {
+		if i, ok := ix.delta.byID[id]; ok {
+			return ix.delta.recs[i].Vector, true
+		}
+		if ix.delta.dead[id] {
+			return nil, false
+		}
+	}
 	p, ok := ix.posOf[id]
 	if !ok {
 		return nil, false
@@ -247,13 +278,22 @@ func (ix *Index) Vector(id uint64) ([]float64, bool) {
 // fallback during construction or maintenance (see package hull).
 func (ix *Index) Joggled() bool { return ix.joggled }
 
-// Records returns all live records. The order is unspecified.
+// Records returns all live records, looking through any pending delta
+// (tombstoned base records are skipped, delta inserts appended). The
+// order is unspecified.
 func (ix *Index) Records() []Record {
 	out := make([]Record, 0, ix.Len())
+	dead := ix.deadPosSet()
 	for _, layer := range ix.layers {
 		for _, p := range layer {
+			if dead != nil && dead[p] {
+				continue
+			}
 			out = append(out, Record{ID: ix.ids[p], Vector: ix.pts[p]})
 		}
+	}
+	if ix.delta != nil {
+		out = append(out, ix.delta.recs...)
 	}
 	return out
 }

@@ -41,6 +41,9 @@ var ErrNotFound = errors.New("core: record not found")
 // and outside the hull of layer k — then the insertion cascade runs from
 // that layer inwards.
 func (ix *Index) Insert(rec Record) error {
+	if err := ix.mutable(); err != nil {
+		return err
+	}
 	if len(rec.Vector) != ix.dim {
 		return fmt.Errorf("core: insert dimension %d, want %d", len(rec.Vector), ix.dim)
 	}
@@ -64,6 +67,9 @@ func (ix *Index) Insert(rec Record) error {
 // layer group. It currently locates each record individually but shares
 // the cascade, which dominates; for bulk loads prefer rebuilding.
 func (ix *Index) InsertBatch(recs []Record) error {
+	if err := ix.mutable(); err != nil {
+		return err
+	}
 	// Records must be grouped by target layer so one cascade handles all
 	// of them; locating first, before any mutation, keeps the search
 	// consistent.
@@ -113,6 +119,9 @@ func (ix *Index) InsertBatch(recs []Record) error {
 // Delete removes the record with the given ID and repairs the layering
 // with the deletion cascade.
 func (ix *Index) Delete(id uint64) error {
+	if err := ix.mutable(); err != nil {
+		return err
+	}
 	pos, ok := ix.posOf[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotFound, id)
@@ -139,6 +148,9 @@ func (ix *Index) Delete(id uint64) error {
 // over per-record cascades. Unknown IDs fail the whole batch before any
 // mutation.
 func (ix *Index) DeleteBatch(ids []uint64) error {
+	if err := ix.mutable(); err != nil {
+		return err
+	}
 	if len(ids) == 0 {
 		return nil
 	}
@@ -246,6 +258,9 @@ func (ix *Index) DeleteBatch(ids []uint64) error {
 // rollback works from a snapshot taken up front rather than trying to
 // re-insert into a possibly-torn index.
 func (ix *Index) Update(id uint64, vector []float64) error {
+	if err := ix.mutable(); err != nil {
+		return err
+	}
 	if len(vector) != ix.dim {
 		return fmt.Errorf("core: update dimension %d, want %d", len(vector), ix.dim)
 	}

@@ -134,6 +134,12 @@ type Searcher struct {
 	trace    func(TraceEvent) // optional step-by-step narration
 	ctx      context.Context  // optional cancellation; nil = never cancelled
 	err      error            // ctx error once observed
+
+	// Delta merge stream (see delta.go): pending unlayered records
+	// pre-scored and sorted on the total order at construction, woven
+	// into the base walk by Next. nil when the index has no delta.
+	deltaRank []Result
+	deltaPos  int
 }
 
 // WithContext attaches ctx to the searcher: once ctx is cancelled or its
@@ -178,7 +184,14 @@ func (ix *Index) NewSearcherChecked(weights []float64, limit int) (*Searcher, er
 	if limit <= 0 {
 		limit = -1
 	}
-	return &Searcher{ix: ix, weights: w, remain: limit}, nil
+	s := &Searcher{ix: ix, weights: w, remain: limit}
+	if ix.delta != nil && len(ix.delta.recs) > 0 {
+		// Brute-force the delta up front: every pending record is scored
+		// exactly once per query, which the stats account like a layer.
+		s.deltaRank = ix.rankDelta(w)
+		s.stats.RecordsEvaluated += len(s.deltaRank)
+	}
+	return s, nil
 }
 
 // NewSearcher is NewSearcherChecked minus the diagnosis: it returns nil
@@ -194,43 +207,97 @@ func (ix *Index) NewSearcher(weights []float64, limit int) *Searcher {
 func (s *Searcher) Stats() Stats { return s.stats }
 
 // Next returns the next result in rank order. ok is false when the
-// limit has been reached or the index is exhausted.
+// limit has been reached or the index is exhausted. With a pending
+// delta the base walk and the pre-ranked delta stream are two exactly
+// sorted sequences merged under the total order (score descending, ID
+// ascending), so the merged stream is the exact ranking of the merged
+// record set.
 func (s *Searcher) Next() (Result, bool) {
 	if s.remain == 0 || s.err != nil || s.cancelled() {
 		return Result{}, false
 	}
+	if s.deltaRank == nil {
+		if !s.fillBase() {
+			return Result{}, false
+		}
+		return s.deliverBase(), true
+	}
+	baseOK := s.fillBase()
+	if s.err != nil {
+		// Cancellation inside the base walk must stop the merged stream
+		// too, not fall through to draining the delta.
+		return Result{}, false
+	}
+	if s.deltaPos < len(s.deltaRank) {
+		d := s.deltaRank[s.deltaPos]
+		if !baseOK || topk.ResultGreater(d.Score, d.ID, s.emit[s.emitPos].Score, s.emit[s.emitPos].ID) {
+			s.deltaPos++
+			if s.remain > 0 {
+				s.remain--
+			}
+			return d, true
+		}
+	}
+	if !baseOK {
+		return Result{}, false
+	}
+	return s.deliverBase(), true
+}
+
+// fillBase refills the base walk's emit buffer until it holds an
+// undelivered result, reporting false on exhaustion or cancellation
+// (s.err distinguishes the two).
+func (s *Searcher) fillBase() bool {
 	for s.emitPos >= len(s.emit) {
 		// Re-checked inside the refill loop so a cancelled context is
 		// observed before every layer evaluation, not just once per result.
 		if s.cancelled() {
-			return Result{}, false
+			return false
 		}
 		if !s.advance() {
-			return Result{}, false
+			return false
 		}
 	}
+	return true
+}
+
+// deliverBase pops the buffered base head with Next's bookkeeping.
+func (s *Searcher) deliverBase() Result {
 	r := s.emit[s.emitPos]
 	s.emitPos++
 	if s.remain > 0 {
 		s.remain--
 	}
-	return r, true
+	return r
 }
 
 // popBuffered delivers one already-computed result without ever
 // advancing a layer — the hand-crank the batch driver uses to drain
 // each searcher's emit buffer between lockstep layer evaluations. It
-// performs exactly Next's delivery bookkeeping.
+// performs exactly Next's delivery bookkeeping, including the delta
+// merge: a delta record is delivered only when it beats a buffered
+// base head (when the buffer is empty the next base result is unknown,
+// so the driver must advance a layer or finish the query through Next
+// before the delta may drain).
 func (s *Searcher) popBuffered() (Result, bool) {
-	if s.remain == 0 || s.emitPos >= len(s.emit) {
+	if s.remain == 0 {
 		return Result{}, false
 	}
-	r := s.emit[s.emitPos]
-	s.emitPos++
-	if s.remain > 0 {
-		s.remain--
+	baseOK := s.emitPos < len(s.emit)
+	if s.deltaRank != nil && s.deltaPos < len(s.deltaRank) && baseOK {
+		d := s.deltaRank[s.deltaPos]
+		if topk.ResultGreater(d.Score, d.ID, s.emit[s.emitPos].Score, s.emit[s.emitPos].ID) {
+			s.deltaPos++
+			if s.remain > 0 {
+				s.remain--
+			}
+			return d, true
+		}
 	}
-	return r, true
+	if !baseOK {
+		return Result{}, false
+	}
+	return s.deliverBase(), true
 }
 
 // advance evaluates one more layer (or drains the candidate set once
@@ -411,16 +478,58 @@ func (s *Searcher) consumeLayer(layer []int, scores []float64) {
 		s.rankBuf = make([]topk.Item, 0, hint)
 	}
 	s.best.ResetK(keep)
-	for i, p := range layer {
-		s.best.Offer(topk.Item{ID: p, Score: scores[i]})
+	// Tombstoned positions (delta buffer deletes, see delta.go) are
+	// excluded from the ranking but NOT from the Corollary 1 bound:
+	// deeper layers nest inside this layer's hull with the tombstoned
+	// vertices still on it, so the finalization bound must be the
+	// maximum over every record of the layer, dead or alive.
+	dead := ix.deadPosSet()
+	var deadMax float64
+	haveDead := false
+	if dead == nil {
+		for i, p := range layer {
+			s.best.Offer(topk.Item{ID: p, Score: scores[i]})
+		}
+	} else {
+		for i, p := range layer {
+			if dead[p] {
+				if !haveDead || scores[i] > deadMax {
+					deadMax, haveDead = scores[i], true
+				}
+				continue
+			}
+			s.best.Offer(topk.Item{ID: p, Score: scores[i]})
+		}
 	}
 	s.rankBuf = s.best.DescendingInto(s.rankBuf[:0])
 	t := s.rankBuf
-	maxT := t[0].Score
-	s.emitTrace(TraceEvent{
-		Kind: TraceLayerEvaluated, Layer: s.k,
-		ID: ix.ids[t[0].ID], Score: maxT, Evaluated: len(layer),
-	})
+	// maxT bounds every record of this and deeper layers; emitTop says
+	// whether the live layer maximum itself is final — it is unless a
+	// tombstone strictly beats it, in which case an unseen deeper record
+	// may still outrank it and t[0] must stay a candidate. Without
+	// tombstones this is exactly the legacy unconditional emission.
+	var maxT float64
+	emitTop := false
+	switch {
+	case len(t) > 0 && (!haveDead || t[0].Score >= deadMax):
+		maxT = t[0].Score
+		emitTop = true
+	case len(t) > 0:
+		maxT = deadMax
+	case haveDead:
+		maxT = deadMax
+	default:
+		// Entirely empty layer (cannot happen: construction never emits
+		// one and tombstones leave deadMax set). Finalize nothing.
+		s.k++
+		return
+	}
+	if len(t) > 0 {
+		s.emitTrace(TraceEvent{
+			Kind: TraceLayerEvaluated, Layer: s.k,
+			ID: ix.ids[t[0].ID], Score: t[0].Score, Evaluated: len(layer),
+		})
+	}
 
 	// Candidates from outer layers that beat this layer's maximum can be
 	// finalized now: no deeper layer can exceed maxT (Corollary 1). The
@@ -438,7 +547,7 @@ func (s *Searcher) consumeLayer(layer []int, scores []float64) {
 	}
 	// This layer's maximum is final too; the rest become candidates.
 	rest := t
-	if s.remain < 0 || len(s.emit) < s.remain {
+	if emitTop && (s.remain < 0 || len(s.emit) < s.remain) {
 		r0 := s.result(t[0])
 		s.emitTrace(TraceEvent{Kind: TraceResultFromLayer, Layer: s.k, ID: r0.ID, Score: r0.Score})
 		s.emit = append(s.emit, r0)
@@ -455,15 +564,16 @@ func (s *Searcher) result(it topk.Item) Result {
 	return Result{ID: s.ix.ids[it.ID], Score: it.Score, Layer: s.ix.layerOf[it.ID]}
 }
 
-// Score computes weights·vector for an arbitrary record by ID.
+// Score computes weights·vector for an arbitrary record by ID, looking
+// through any pending delta.
 func (ix *Index) Score(weights []float64, id uint64) (float64, bool) {
-	p, ok := ix.posOf[id]
+	v, ok := ix.Vector(id)
 	if !ok {
 		return 0, false
 	}
 	var s float64
 	for j, wj := range weights {
-		s += wj * ix.pts[p][j]
+		s += wj * v[j]
 	}
 	return s, true
 }

@@ -40,5 +40,10 @@ func (ix *Index) Clone() *Index {
 	for id, p := range ix.posOf {
 		cp.posOf[id] = p
 	}
+	// The clone owns its base arrays again (shared is deliberately not
+	// carried over), and any pending delta is deep-copied with it.
+	if ix.delta != nil {
+		cp.delta = ix.delta.clone()
+	}
 	return cp
 }

@@ -20,6 +20,13 @@ type sortedColumns struct {
 // walk. Maintenance invalidates the structure; call it again after
 // bulk changes.
 func (ix *Index) EnableSortedColumns() {
+	if ix.delta != nil {
+		// The permutations are built from the base layers and cannot see
+		// pending delta records or tombstones; a fast-path answer would
+		// be wrong. Compact first, then enable.
+		ix.sorted = nil
+		return
+	}
 	sc := &sortedColumns{perm: make([][]int, ix.dim)}
 	live := make([]int, 0, ix.Len())
 	for _, layer := range ix.layers {

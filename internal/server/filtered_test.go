@@ -14,7 +14,10 @@ import (
 func TestTopNFilteredEndpoint(t *testing.T) {
 	s, ts := newTestServer(t, 600, 3, Config{})
 	w := []float64{0.5, 0.3, 0.2}
-	ranges := []RangeJSON{{Attr: 0, Lo: -0.5, Hi: 2.0}, {Attr: 2, Lo: -1.0, Hi: 1.0}}
+	ranges := []RangeJSON{
+		{Attr: 0, Lo: Bound(-0.5), Hi: Bound(2.0)},
+		{Attr: 2, Lo: Bound(-1.0), Hi: Bound(1.0)},
+	}
 
 	resp := postJSON(t, ts.URL+"/v1/topn", TopNRequest{Weights: w, N: 10, Ranges: ranges})
 	defer resp.Body.Close()
@@ -45,10 +48,8 @@ func TestTopNFilteredEndpoint(t *testing.T) {
 		if !ok {
 			t.Fatalf("result %d: id %d not in index", i, r.ID)
 		}
-		for _, rg := range ranges {
-			if v[rg.Attr] < rg.Lo || v[rg.Attr] > rg.Hi {
-				t.Fatalf("result %d violates range on attr %d: %v", i, rg.Attr, v)
-			}
+		if !inRanges(v, ranges) {
+			t.Fatalf("result %d violates a range predicate: %v", i, v)
 		}
 	}
 }
@@ -59,9 +60,9 @@ func TestTopNFilteredBadRanges(t *testing.T) {
 		name   string
 		ranges []RangeJSON
 	}{
-		{"attr out of range", []RangeJSON{{Attr: 5, Lo: 0, Hi: 1}}},
-		{"negative attr", []RangeJSON{{Attr: -1, Lo: 0, Hi: 1}}},
-		{"empty interval", []RangeJSON{{Attr: 0, Lo: 2, Hi: 1}}},
+		{"attr out of range", []RangeJSON{{Attr: 5, Lo: Bound(0), Hi: Bound(1)}}},
+		{"negative attr", []RangeJSON{{Attr: -1, Lo: Bound(0), Hi: Bound(1)}}},
+		{"empty interval", []RangeJSON{{Attr: 0, Lo: Bound(2), Hi: Bound(1)}}},
 	} {
 		resp := postJSON(t, ts.URL+"/v1/topn", TopNRequest{Weights: []float64{1, 1}, N: 5, Ranges: tc.ranges})
 		resp.Body.Close()
@@ -84,7 +85,7 @@ func TestTopNFilteredSkipsCache(t *testing.T) {
 
 	// A narrow predicate must produce a different (still-satisfying)
 	// answer, not the cached prefix.
-	resp = postJSON(t, ts.URL+"/v1/topn", TopNRequest{Weights: w, N: 5, Ranges: []RangeJSON{{Attr: 0, Lo: -10, Hi: -0.5}}})
+	resp = postJSON(t, ts.URL+"/v1/topn", TopNRequest{Weights: w, N: 5, Ranges: []RangeJSON{{Attr: 0, Lo: Bound(-10), Hi: Bound(-0.5)}}})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
@@ -100,6 +101,83 @@ func TestTopNFilteredSkipsCache(t *testing.T) {
 		}
 		if v[0] > -0.5 {
 			t.Fatalf("result %d (id %d) violates the predicate: %v — cached unfiltered ranking leaked", i, r.ID, v)
+		}
+	}
+}
+
+// TestDegenerateFilterNormalizedToUnfiltered is the parse-time
+// normalization regression: `"ranges": []` and all-unbounded ranges
+// are exactly unfiltered queries and must be served as such — through
+// the result cache, byte-identical to the plain request — instead of
+// tripping the uncached filtered expansion.
+func TestDegenerateFilterNormalizedToUnfiltered(t *testing.T) {
+	s, ts := newTestServer(t, 400, 2, Config{CacheBytes: 1 << 20})
+	w := []float64{0.7, 0.3}
+
+	read := func(req TopNRequest) TopNResponse {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/topn", req)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var out TopNResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	plain := read(TopNRequest{Weights: w, N: 8})
+	base := s.cache.Counters()
+	for _, req := range []TopNRequest{
+		{Weights: w, N: 8, Ranges: []RangeJSON{}},
+		{Weights: w, N: 8, Ranges: []RangeJSON{{Attr: 0}, {Attr: 1}}}, // all-unbounded
+	} {
+		got := read(req)
+		if len(got.Results) != len(plain.Results) {
+			t.Fatalf("degenerate filter returned %d results, unfiltered %d", len(got.Results), len(plain.Results))
+		}
+		for i := range plain.Results {
+			if got.Results[i] != plain.Results[i] {
+				t.Fatalf("degenerate filter diverges at rank %d: %+v vs %+v", i, got.Results[i], plain.Results[i])
+			}
+		}
+	}
+	after := s.cache.Counters()
+	if after.Hits != base.Hits+2 {
+		t.Fatalf("degenerate filters bypassed the cache: hits %d -> %d, want +2", base.Hits, after.Hits)
+	}
+}
+
+// TestHalfBoundedRanges pins the pointer-bound decoding fix: a range
+// with only a lo (or only a hi) constrains one side and leaves the
+// other unbounded, rather than decoding the absent side as 0.
+func TestHalfBoundedRanges(t *testing.T) {
+	s, ts := newTestServer(t, 400, 2, Config{})
+	w := []float64{0.6, 0.4}
+	resp := postJSON(t, ts.URL+"/v1/topn", TopNRequest{
+		Weights: w, N: 6,
+		Ranges: []RangeJSON{{Attr: 0, Lo: Bound(0.5)}}, // [0.5, +inf): 400 under the old decoding
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("half-bounded range: status %d, want 200", resp.StatusCode)
+	}
+	var got TopNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) == 0 {
+		t.Fatal("half-bounded range returned nothing")
+	}
+	for i, r := range got.Results {
+		v, ok := s.Snapshot().Vector(r.ID)
+		if !ok {
+			t.Fatalf("result %d: id %d not in index", i, r.ID)
+		}
+		if v[0] < 0.5 {
+			t.Fatalf("result %d (id %d) violates lo bound: %v", i, r.ID, v)
 		}
 	}
 }

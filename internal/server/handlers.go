@@ -30,12 +30,20 @@ type TopNRequest struct {
 	Ranges []RangeJSON `json:"ranges,omitempty"`
 }
 
-// RangeJSON is one closed interval constraint on one attribute.
+// RangeJSON is one interval constraint on one attribute. A nil bound
+// is unbounded on that side — `{"attr":1,"lo":5}` means [5, +inf), not
+// [5, 0] (which the old non-pointer decoding produced, turning every
+// half-bounded request into a 400 "empty range"). A constraint with
+// neither bound constrains nothing and is dropped at parse time.
 type RangeJSON struct {
-	Attr int     `json:"attr"`
-	Lo   float64 `json:"lo"`
-	Hi   float64 `json:"hi"`
+	Attr int      `json:"attr"`
+	Lo   *float64 `json:"lo,omitempty"`
+	Hi   *float64 `json:"hi,omitempty"`
 }
+
+// Bound returns a pointer to v — a convenience for building RangeJSON
+// values in clients and tests.
+func Bound(v float64) *float64 { return &v }
 
 // SearchRequest is the body of POST /v1/search. Limit <= 0 asks for the
 // complete ranking; if the server is configured with a MaxResults cap,
@@ -218,10 +226,12 @@ func (s *Server) handleTopN(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := validateRanges(req.Ranges, s.Snapshot().Dim()); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+	ranges, rngErr := NormalizeRanges(req.Ranges, s.Snapshot().Dim())
+	if rngErr != nil {
+		writeErr(w, http.StatusBadRequest, "%v", rngErr)
 		return
 	}
+	req.Ranges = ranges
 	if !s.admit() {
 		writeErr(w, http.StatusTooManyRequests, "server at max in-flight queries")
 		return
@@ -320,20 +330,31 @@ func computeTopN(ctx context.Context, snap *core.Index, weights []float64, n int
 	return results, sr.Stats(), nil
 }
 
-// validateRanges rejects malformed predicate constraints before a
-// request spends an admission slot: attributes must exist and each
-// interval must be non-empty (Lo > Hi can only ever force a full-corpus
-// expansion that returns nothing).
-func validateRanges(ranges []RangeJSON, dim int) error {
+// NormalizeRanges validates and canonicalizes predicate constraints at
+// parse time: attributes must exist (dim < 0 skips the upper-bound
+// check — the coordinator normalizes without knowing the corpus
+// dimension and lets shards reject bad attributes), a fully bounded
+// interval must be non-empty (Lo > Hi can only ever force a
+// full-corpus expansion that returns nothing), and constraints with no
+// bounds at all are dropped. A request whose every range is unbounded
+// — including the degenerate `"ranges": []` — normalizes to nil and is
+// served as the unfiltered query it is: through the result cache here,
+// through the ordinary scatter on the coordinator.
+func NormalizeRanges(ranges []RangeJSON, dim int) ([]RangeJSON, error) {
+	var out []RangeJSON
 	for _, rg := range ranges {
-		if rg.Attr < 0 || rg.Attr >= dim {
-			return fmt.Errorf("range on attribute %d of %d", rg.Attr, dim)
+		if rg.Attr < 0 || (dim >= 0 && rg.Attr >= dim) {
+			return nil, fmt.Errorf("range on attribute %d of %d", rg.Attr, dim)
 		}
-		if rg.Lo > rg.Hi {
-			return fmt.Errorf("empty range [%g, %g] on attribute %d", rg.Lo, rg.Hi, rg.Attr)
+		if rg.Lo == nil && rg.Hi == nil {
+			continue // unbounded both sides: constrains nothing
 		}
+		if rg.Lo != nil && rg.Hi != nil && *rg.Lo > *rg.Hi {
+			return nil, fmt.Errorf("empty range [%g, %g] on attribute %d", *rg.Lo, *rg.Hi, rg.Attr)
+		}
+		out = append(out, rg)
 	}
-	return nil
+	return out, nil
 }
 
 // serveTopNFiltered answers a /v1/topn request carrying range
@@ -341,10 +362,9 @@ func validateRanges(ranges []RangeJSON, dim int) error {
 // ranking (context-aware, so a deadline stops a predicate that is
 // anti-correlated with the weights mid-scan) and keep the first n
 // qualifying records. Runs uncached: cache entries are keyed by weights
-// alone and prefix-serve unfiltered rankings only. Single-node only;
-// the shard coordinator answers 501 for filtered queries (per-shard
-// expansion depth is not independently bounded, so pushdown is future
-// work).
+// alone and prefix-serve unfiltered rankings only. The shard
+// coordinator pushes the same ranges down to every shard and merges the
+// per-shard filtered rankings on the total order (see internal/shard).
 func (s *Server) serveTopNFiltered(ctx context.Context, w http.ResponseWriter, req TopNRequest) {
 	start := time.Now()
 	snap := s.Snapshot()
@@ -385,7 +405,10 @@ func (s *Server) serveTopNFiltered(ctx context.Context, w http.ResponseWriter, r
 
 func inRanges(v []float64, ranges []RangeJSON) bool {
 	for _, rg := range ranges {
-		if v[rg.Attr] < rg.Lo || v[rg.Attr] > rg.Hi {
+		if rg.Lo != nil && v[rg.Attr] < *rg.Lo {
+			return false
+		}
+		if rg.Hi != nil && v[rg.Attr] > *rg.Hi {
 			return false
 		}
 	}

@@ -37,12 +37,15 @@ type metrics struct {
 	inflight         expvar.Int // currently admitted queries (gauge)
 	walCommits       expvar.Int // batches durably logged before publish
 	walCommitErrors  expvar.Int // batches failed (and unpublished) by the WAL
+	compactions      expvar.Int // background delta folds published
+	compactionErrors expvar.Int // folds abandoned (cascade or replay failure)
 
 	topnLatency      *telemetry.Histogram
 	batchLatency     *telemetry.Histogram // whole-batch latency of /v1/topn/batch
 	searchLatency    *telemetry.Histogram
 	mutateLatency    *telemetry.Histogram
 	walCommitLatency *telemetry.Histogram // group-commit (append+fsync) time
+	compactLatency   *telemetry.Histogram // journal replay + swap of a finished fold
 
 	vars *expvar.Map
 }
@@ -54,6 +57,7 @@ func newMetrics() *metrics {
 		searchLatency:    &telemetry.Histogram{},
 		mutateLatency:    &telemetry.Histogram{},
 		walCommitLatency: &telemetry.Histogram{},
+		compactLatency:   &telemetry.Histogram{},
 	}
 	v := new(expvar.Map).Init()
 	v.Set("queries_served", &m.queriesServed)
@@ -73,13 +77,23 @@ func newMetrics() *metrics {
 	v.Set("inflight", &m.inflight)
 	v.Set("wal_commits", &m.walCommits)
 	v.Set("wal_commit_errors", &m.walCommitErrors)
+	v.Set("compactions", &m.compactions)
+	v.Set("compaction_errors", &m.compactionErrors)
 	v.Set("topn_latency_ms", expvar.Func(func() any { return m.topnLatency.Summary() }))
 	v.Set("batch_latency_ms", expvar.Func(func() any { return m.batchLatency.Summary() }))
 	v.Set("search_latency_ms", expvar.Func(func() any { return m.searchLatency.Summary() }))
 	v.Set("rebuild_latency_ms", expvar.Func(func() any { return m.mutateLatency.Summary() }))
 	v.Set("wal_commit_latency_ms", expvar.Func(func() any { return m.walCommitLatency.Summary() }))
+	v.Set("compact_latency_ms", expvar.Func(func() any { return m.compactLatency.Summary() }))
 	m.vars = v
 	return m
+}
+
+// attachSnapshot exposes the live snapshot's delta-buffer depth as a
+// gauge, so operators can see how far the write path is ahead of the
+// background compactor.
+func (m *metrics) attachSnapshot(load func() *core.Index) {
+	m.vars.Set("delta_pending", expvar.Func(func() any { return load().DeltaLen() }))
 }
 
 // attachCache publishes the result cache's counters on the metric map.

@@ -74,6 +74,18 @@ type Config struct {
 	// CacheShards splits the result cache into independently locked
 	// shards. 0 means 8.
 	CacheShards int
+	// DeltaThreshold is the pending-mutation count (delta inserts plus
+	// tombstones) at which the mutator schedules a background
+	// compaction folding the delta buffer back into the layered base.
+	// With the incremental write path (the default), mutations land in
+	// an unlayered delta buffer on an O(delta) shallow clone and are
+	// merged into every query on the total order, so publish latency is
+	// independent of corpus size; compaction re-hulls off the publish
+	// path. 0 means 4096. Negative disables the delta path entirely:
+	// every batch deep-clones and re-cascades synchronously (the
+	// pre-delta behavior, kept for comparison and for workloads that
+	// want every snapshot fully layered).
+	DeltaThreshold int
 }
 
 func (c *Config) withDefaults() Config {
@@ -86,6 +98,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.QueryTimeout == 0 {
 		out.QueryTimeout = 30 * time.Second
+	}
+	if out.DeltaThreshold == 0 {
+		out.DeltaThreshold = 4096
 	}
 	return out
 }
@@ -143,6 +158,16 @@ type Server struct {
 	// excludes not-ready replicas from query fan-out.
 	ready atomic.Bool
 
+	// Background compaction state, touched only by the mutator
+	// goroutine (the compaction worker communicates through compactCh):
+	// compacting marks a CompactedClone in flight, and journal records
+	// every mutation published since that clone's base snapshot, so the
+	// compacted index can be brought up to date by replaying it through
+	// the delta buffer before it is swapped in.
+	compacting bool
+	journal    []wal.Mutation
+	compactCh  chan *core.Index
+
 	metrics *metrics
 }
 
@@ -157,14 +182,16 @@ func (s *Server) Ready() bool { return s.ready.Load() }
 func New(ix *core.Index, cfg Config) *Server {
 	c := cfg.withDefaults()
 	s := &Server{
-		cfg:     c,
-		sem:     make(chan struct{}, c.MaxInFlight),
-		ops:     make(chan op, 4*c.MaxBatchOps),
-		done:    make(chan struct{}),
-		cache:   cache.New(c.CacheBytes, c.CacheShards),
-		metrics: newMetrics(),
+		cfg:       c,
+		sem:       make(chan struct{}, c.MaxInFlight),
+		ops:       make(chan op, 4*c.MaxBatchOps),
+		done:      make(chan struct{}),
+		cache:     cache.New(c.CacheBytes, c.CacheShards),
+		compactCh: make(chan *core.Index, 1),
+		metrics:   newMetrics(),
 	}
 	s.metrics.attachCache(s.cache)
+	s.metrics.attachSnapshot(func() *core.Index { return s.snap.Load() })
 	s.snap.Store(ix)
 	s.ready.Store(true)
 	go s.mutator()
@@ -238,24 +265,50 @@ func (s *Server) Close(ctx context.Context) error {
 
 // mutator is the single goroutine through which every index mutation
 // flows. It coalesces queued operations, applies them to a clone, and
-// publishes the clone with one atomic swap.
+// publishes the clone with one atomic swap. Finished background
+// compactions also return here, so the snapshot chain stays linear: a
+// compacted index is reconciled with the journal and published between
+// mutation batches, never concurrently with one.
 func (s *Server) mutator() {
 	defer close(s.done)
-	for o := range s.ops {
-		batch := []op{o}
-	coalesce:
-		for len(batch) < s.cfg.MaxBatchOps {
-			select {
-			case o2, ok := <-s.ops:
-				if !ok {
+	for {
+		select {
+		case o, ok := <-s.ops:
+			if !ok {
+				s.drainCompaction()
+				return
+			}
+			batch := []op{o}
+		coalesce:
+			for len(batch) < s.cfg.MaxBatchOps {
+				select {
+				case o2, ok := <-s.ops:
+					if !ok {
+						s.apply(batch)
+						s.drainCompaction()
+						return
+					}
+					batch = append(batch, o2)
+				default:
 					break coalesce
 				}
-				batch = append(batch, o2)
-			default:
-				break coalesce
 			}
+			s.apply(batch)
+		case compacted := <-s.compactCh:
+			s.finishCompaction(compacted)
 		}
-		s.apply(batch)
+	}
+}
+
+// drainCompaction waits out in-flight background compactions during
+// shutdown and publishes them, so Close never abandons a worker's
+// result and a checkpoint-on-shutdown sees the most compact snapshot.
+// A loop, not a single receive: finishCompaction chains a next round
+// when the journal refilled the delta past the threshold, and that
+// round converges fast (no new mutations arrive after Close).
+func (s *Server) drainCompaction() {
+	for s.compacting {
+		s.finishCompaction(<-s.compactCh)
 	}
 }
 
@@ -274,8 +327,19 @@ func (s *Server) mutator() {
 // happy path still pays exactly one clone.
 func (s *Server) apply(batch []op) {
 	start := time.Now()
+	deltaMode := s.cfg.DeltaThreshold >= 0
 	base := s.snap.Load()
-	next := base.Clone()
+	var next *core.Index
+	if deltaMode {
+		// O(delta) publish: the shallow clone shares every base array and
+		// mutations land in the delta buffer, so this batch costs its own
+		// size, not the corpus's. The delta mutators are individually
+		// atomic (validate-all-then-apply), so a failed op simply leaves
+		// the clone as the previous op left it — no replay needed.
+		next = base.CloneDelta()
+	} else {
+		next = base.Clone()
+	}
 	results := make([]opResult, len(batch))
 	// effDel[i] is the delete set op i actually applied: for missing-ok
 	// deletes, the present subset resolved against the clone being
@@ -286,7 +350,13 @@ func (s *Server) apply(batch []op) {
 	applyOp := func(ix *core.Index, i int, o op) (int, error) {
 		switch {
 		case len(o.insert) > 0:
-			if err := ix.InsertBatch(o.insert); err != nil {
+			var err error
+			if deltaMode {
+				err = ix.InsertDelta(o.insert)
+			} else {
+				err = ix.InsertBatch(o.insert)
+			}
+			if err != nil {
 				return 0, err
 			}
 			return len(o.insert), nil
@@ -299,7 +369,13 @@ func (s *Server) apply(batch []op) {
 					return 0, nil
 				}
 			}
-			if err := ix.DeleteBatch(ids); err != nil {
+			var err error
+			if deltaMode {
+				_, err = ix.DeleteDelta(ids, false)
+			} else {
+				err = ix.DeleteBatch(ids)
+			}
+			if err != nil {
 				effDel[i] = nil
 				return 0, err
 			}
@@ -317,29 +393,32 @@ func (s *Server) apply(batch []op) {
 		s.metrics.mutationOps.Add(1)
 		if err != nil {
 			s.metrics.mutationErrors.Add(1)
-			next = base.Clone()
-			for j := 0; j < i; j++ {
-				if results[j].err == nil {
-					applyOp(next, j, batch[j])
+			if !deltaMode {
+				// InsertBatch/DeleteBatch cascades can fail after partial
+				// mutation; discard the torn clone and replay the survivors.
+				next = base.Clone()
+				for j := 0; j < i; j++ {
+					if results[j].err == nil {
+						applyOp(next, j, batch[j])
+					}
 				}
 			}
 		}
 	}
-	// Mutations invalidated the clone's columnar slabs; rebuild them off
-	// the query path so every published snapshot serves through the
-	// cache-friendly layout (queries would otherwise silently fall back
-	// to the record-walk until the next build). Part of the rebuild cost
-	// the mutation batch already amortizes.
-	if applied > 0 {
+	// Legacy mode invalidated the clone's columnar slabs; rebuild them
+	// off the query path so every published snapshot serves through the
+	// cache-friendly layout. Delta mode shares the base's slabs — they
+	// still describe the (untouched) base layers — so there is nothing
+	// to rebuild: that O(n) pass is exactly what the delta path removes
+	// from publish latency.
+	if applied > 0 && !deltaMode {
 		next.BuildSlabs()
 	}
-	// Durability barrier: the batch's surviving operations are logged
-	// and (per the manager's fsync mode) forced to stable storage in one
-	// group commit before the snapshot becomes visible. A failed commit
-	// aborts the publish — callers must never see success for a write
-	// that would not be replayed after a crash.
-	if applied > 0 && s.cfg.WAL != nil {
-		muts := make([]wal.Mutation, 0, applied)
+	// The WAL frames and the compaction journal both carry the batch's
+	// surviving operations in their effective form.
+	var muts []wal.Mutation
+	if applied > 0 && (s.cfg.WAL != nil || deltaMode) {
+		muts = make([]wal.Mutation, 0, applied)
 		for i, o := range batch {
 			if results[i].err != nil || results[i].applied == 0 {
 				continue
@@ -351,6 +430,13 @@ func (s *Server) apply(batch []op) {
 				muts = append(muts, wal.Mutation{Delete: effDel[i]})
 			}
 		}
+	}
+	// Durability barrier: the batch's surviving operations are logged
+	// and (per the manager's fsync mode) forced to stable storage in one
+	// group commit before the snapshot becomes visible. A failed commit
+	// aborts the publish — callers must never see success for a write
+	// that would not be replayed after a crash.
+	if applied > 0 && s.cfg.WAL != nil {
 		commitStart := time.Now()
 		if err := s.cfg.WAL.CommitBatch(muts, next); err != nil {
 			s.metrics.walCommitErrors.Add(1)
@@ -378,10 +464,81 @@ func (s *Server) apply(batch []op) {
 		s.metrics.snapshotSwaps.Add(1)
 		s.metrics.rebuildNanos.Add(time.Since(start).Nanoseconds())
 		s.metrics.mutateLatency.Observe(time.Since(start))
+		if deltaMode {
+			if s.compacting {
+				// A compaction is folding an older base; journal this batch
+				// so the compacted index can catch up before it is published.
+				s.journal = append(s.journal, muts...)
+			}
+			s.maybeStartCompaction(next)
+		}
 	}
 	for i, o := range batch {
 		o.reply <- results[i]
 	}
+}
+
+// maybeStartCompaction launches a background fold of cur's delta
+// buffer into its layered base once the buffer crosses the threshold.
+// The CompactedClone runs off the mutator goroutine — queries keep
+// serving cur, mutations keep publishing O(delta) batches on top of it
+// — and the result returns through compactCh to finishCompaction.
+func (s *Server) maybeStartCompaction(cur *core.Index) {
+	if s.compacting || s.cfg.DeltaThreshold <= 0 || cur.DeltaLen() < s.cfg.DeltaThreshold {
+		return
+	}
+	s.compacting = true
+	s.journal = nil
+	go func() {
+		compacted, err := cur.CompactedClone()
+		if err != nil {
+			s.metrics.compactionErrors.Add(1)
+			compacted = nil
+		}
+		s.compactCh <- compacted
+	}()
+}
+
+// finishCompaction reconciles a finished background compaction with
+// the mutations published while it ran (replayed through the delta
+// buffer — the compacted base is logically identical to the journal's
+// base snapshot, so replay cannot fail) and swaps it in. The publish
+// bumps the cache epoch like any other swap: compaction changes Layer
+// assignments, and a cached result must never mix layerings. No WAL
+// frame is written — compaction changes no logical content, and crash
+// recovery replays the same operations onto whatever checkpoint exists.
+func (s *Server) finishCompaction(compacted *core.Index) {
+	start := time.Now()
+	journal := s.journal
+	s.journal = nil
+	s.compacting = false
+	if compacted == nil {
+		return // compaction failed; keep serving the delta-carrying chain
+	}
+	for _, m := range journal {
+		var err error
+		switch {
+		case len(m.Insert) > 0:
+			err = compacted.InsertDelta(m.Insert)
+		case len(m.Delete) > 0:
+			_, err = compacted.DeleteDelta(m.Delete, false)
+		}
+		if err != nil {
+			// Cannot happen while the journal invariant holds; refuse to
+			// publish a snapshot that lost a mutation and keep the current
+			// (correct, merely uncompacted) chain.
+			s.metrics.compactionErrors.Add(1)
+			return
+		}
+	}
+	s.snap.Store(compacted)
+	s.cache.Invalidate()
+	s.metrics.snapshotSwaps.Add(1)
+	s.metrics.compactions.Add(1)
+	s.metrics.compactLatency.Observe(time.Since(start))
+	// The journal may have refilled the delta past the threshold while
+	// the fold ran; start the next round immediately.
+	s.maybeStartCompaction(compacted)
 }
 
 // presentIDs returns the IDs the index currently holds, in request

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -54,10 +55,50 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// pendingWrite is one mutation a diverged replica still owes. Exactly
+// one of insert/del is set.
+type pendingWrite struct {
+	insert       []core.Record
+	del          []uint64
+	delMissingOK bool
+}
+
 // replica is one onionserve node inside a shard group.
 type replica struct {
 	ep    *client.Endpoint
 	ready atomic.Bool
+
+	// Divergence state. A replica that failed a write the group acked
+	// holds stale data: it is pulled out of the read rotation entirely
+	// (not merely deprioritized like a not-ready replica — a stale
+	// answer merged into the ranking would be silently wrong, which is
+	// worse than slow) and the missed writes queue up here until a
+	// resync drains them in order.
+	mu       sync.Mutex
+	diverged bool
+	draining bool
+	pending  []pendingWrite
+}
+
+func (r *replica) isDiverged() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.diverged
+}
+
+// divergeOn marks the replica diverged and queues the write it missed.
+// Reports whether this call is what flipped it (for the metric; a
+// replica already diverged just grows its queue). Re-asserting diverged
+// under the same lock as the append closes the race with a concurrent
+// resync: if a drain just emptied the queue and cleared the flag, the
+// new debt re-opens it and the replica stays out of rotation.
+func (r *replica) divergeOn(pw pendingWrite) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	was := r.diverged
+	r.diverged = true
+	r.pending = append(r.pending, pw)
+	return !was
 }
 
 // group is one shard: a set of replicas all serving the same slice of
@@ -71,6 +112,9 @@ type group struct {
 // rotated by the round-robin cursor so load spreads across them, then
 // not-ready replicas as a last resort (they may have recovered since
 // the last probe; trying them is still better than failing the shard).
+// Diverged replicas are excluded outright — never even as a last
+// resort: they hold data older than an acked mutation, and a merge
+// over stale data is a wrong answer, not a degraded one.
 func (g *group) order() []*replica {
 	n := len(g.replicas)
 	start := int(g.next.Add(1)-1) % n
@@ -78,6 +122,9 @@ func (g *group) order() []*replica {
 	var rest []*replica
 	for i := 0; i < n; i++ {
 		r := g.replicas[(start+i)%n]
+		if r.isDiverged() {
+			continue
+		}
 		if r.ready.Load() {
 			ready = append(ready, r)
 		} else {
@@ -171,6 +218,13 @@ func (c *Coordinator) probeLoop() {
 					c.metrics.probesPerformed.Add(1)
 					if !ok {
 						c.metrics.replicasNotReady.Add(1)
+						return
+					}
+					// A live probe on a diverged replica doubles as the
+					// resync trigger: replay its missed writes in order and
+					// put it back into rotation once the queue drains.
+					if r.isDiverged() {
+						c.drainReplica(ctx, r)
 					}
 				}(r)
 			}
@@ -183,10 +237,11 @@ func (c *Coordinator) probeLoop() {
 func (c *Coordinator) NumShards() int { return len(c.groups) }
 
 // GroupReady reports whether shard group g currently has at least one
-// replica believed ready.
+// replica believed ready. A diverged replica does not count: it is out
+// of the read rotation until it resyncs.
 func (c *Coordinator) GroupReady(g int) bool {
 	for _, r := range c.groups[g].replicas {
-		if r.ready.Load() {
+		if r.ready.Load() && !r.isDiverged() {
 			return true
 		}
 	}
@@ -260,10 +315,23 @@ type TopNResult struct {
 // every group fails, it returns a nil result and an error describing
 // the first failure.
 func (c *Coordinator) TopN(ctx context.Context, weights []float64, n int) (*TopNResult, error) {
+	return c.TopNFiltered(ctx, weights, n, nil)
+}
+
+// TopNFiltered is TopN with range predicates pushed down to every
+// shard. Exactness needs no new protocol: each shard answers with its
+// own top-n QUALIFYING records (the single-node Section 4 expansion
+// over its slice of the corpus), every globally qualifying record
+// lives on exactly one shard, and the global filtered top-n is
+// therefore contained in the union of the per-shard filtered top-n
+// sets — so the same total-order merge used for unfiltered queries is
+// exact here too. Each shard bounds its own expansion depth; the
+// coordinator never asks for more than n per shard.
+func (c *Coordinator) TopNFiltered(ctx context.Context, weights []float64, n int, ranges []server.RangeJSON) (*TopNResult, error) {
 	if n <= 0 {
 		return nil, errors.New("shard: n must be positive")
 	}
-	req := server.TopNRequest{Weights: weights, N: n}
+	req := server.TopNRequest{Weights: weights, N: n, Ranges: ranges}
 	per := make([][]core.Result, len(c.groups))
 	stats := make([]core.Stats, len(c.groups))
 	errs := make([]error, len(c.groups))
@@ -393,10 +461,11 @@ func (c *Coordinator) TopNBatch(ctx context.Context, weights [][]float64, n int)
 
 // Insert routes each record to its owning shard group and applies it
 // on every replica of that group (each replica holds a full copy of
-// the shard). Writes have no partial mode: any replica failure fails
-// the call, and the error names the group — replicas of that group may
-// then disagree until the operator reconciles (re-applying the insert
-// is safe: duplicates are rejected, so convergence is idempotent).
+// the shard). A group acks once at least one of its replicas applied
+// the write; replicas that failed are marked diverged, pulled out of
+// the read rotation, and owe the write until a resync replays it (see
+// writeGroup). Only when no replica of an owning group applied does
+// the call fail, and the error names the group.
 func (c *Coordinator) Insert(ctx context.Context, recs []core.Record) (int, error) {
 	if len(recs) == 0 {
 		return 0, errors.New("shard: no records")
@@ -412,10 +481,7 @@ func (c *Coordinator) Insert(ctx context.Context, recs []core.Record) (int, erro
 		wg.Add(1)
 		go func(gi int, part []core.Record) {
 			defer wg.Done()
-			errs[gi] = c.writeGroup(ctx, gi, func(ctx context.Context, ep *client.Endpoint) error {
-				_, err := ep.Insert(ctx, part)
-				return err
-			})
+			_, errs[gi] = c.writeGroup(ctx, gi, pendingWrite{insert: part})
 		}(gi, part)
 	}
 	wg.Wait()
@@ -426,19 +492,26 @@ func (c *Coordinator) Insert(ctx context.Context, recs []core.Record) (int, erro
 	return len(recs), nil
 }
 
-// Delete removes ids. With an ID-routable partitioner (hash) each
-// group receives exactly its own subset and a missing ID fails the
-// call like a single node would. With vector-dependent partitioning
-// (cluster) the delete is broadcast in missing-ok mode: every group
-// deletes the IDs it holds, and the call fails if any requested ID was
-// found nowhere — after the found ones were already removed (exactly
-// the partial-application semantics a single-node DeleteBatch avoids;
-// the error says so).
+// Delete removes ids and reports how many were found and deleted. The
+// contract matches a single node's: it is an error (core.ErrNotFound)
+// only when NOTHING was deleted — when every requested ID was absent
+// everywhere. A partially-found request succeeds and reports the
+// applied count; callers that need strict existence can compare it to
+// len(ids). Duplicate IDs in the request count once.
+//
+// Routing: with an ID-routable partitioner (hash) each group receives
+// exactly its own subset; with vector-dependent partitioning (cluster)
+// the delete broadcasts to every group. Both paths ask the shards for
+// missing-ok deletes — whether the request as a whole found anything
+// is decided here from the aggregate, not by any one shard, because no
+// single shard can distinguish "ID absent from the corpus" from "ID
+// owned by a sibling shard".
 func (c *Coordinator) Delete(ctx context.Context, ids []uint64) (int, error) {
 	if len(ids) == 0 {
 		return 0, errors.New("shard: no ids")
 	}
 	c.metrics.deleteOps.Add(1)
+	ids = dedupIDs(ids)
 	byShard := make([][]uint64, len(c.groups))
 	routable := true
 	for _, id := range ids {
@@ -463,15 +536,7 @@ func (c *Coordinator) Delete(ctx context.Context, ids []uint64) (int, error) {
 		wg.Add(1)
 		go func(gi int, part []uint64) {
 			defer wg.Done()
-			first := true
-			errs[gi] = c.writeGroup(ctx, gi, func(ctx context.Context, ep *client.Endpoint) error {
-				resp, err := ep.Delete(ctx, part, !routable)
-				if err == nil && first {
-					first = false
-					applied[gi] = resp.Applied
-				}
-				return err
-			})
+			applied[gi], errs[gi] = c.writeGroup(ctx, gi, pendingWrite{del: part, delMissingOK: true})
 		}(gi, part)
 	}
 	wg.Wait()
@@ -483,28 +548,161 @@ func (c *Coordinator) Delete(ctx context.Context, ids []uint64) (int, error) {
 	for _, a := range applied {
 		total += a
 	}
-	if !routable && total < len(ids) {
+	if total == 0 {
 		c.metrics.writeFailures.Add(1)
-		return total, fmt.Errorf("shard: %w: %d of %d ids found on no shard (found ones were deleted)",
-			core.ErrNotFound, len(ids)-total, len(ids))
+		return 0, fmt.Errorf("shard: %w: none of the %d id(s) found on any shard", core.ErrNotFound, len(ids))
 	}
 	return total, nil
 }
 
-// writeGroup applies one mutation to every replica of a group,
-// sequentially in replica order. Sequential, not parallel: replicas of
-// a group must converge, and applying in a fixed order means a failure
-// leaves a prefix of replicas updated — a state the error message can
-// describe and an operator can reconcile — rather than an arbitrary
-// subset.
-func (c *Coordinator) writeGroup(ctx context.Context, gi int, write func(context.Context, *client.Endpoint) error) error {
+// dedupIDs drops repeated IDs, keeping first-occurrence order. Shards
+// dedup internally, so a duplicated ID in the request would apply once
+// but be expected twice — making an aggregate-vs-requested comparison
+// lie. Deduping at the door keeps "applied" counting distinct IDs.
+func dedupIDs(ids []uint64) []uint64 {
+	seen := make(map[uint64]struct{}, len(ids))
+	out := make([]uint64, 0, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// writeGroup applies one mutation to every replica of a group, in
+// replica order. The group acks as soon as any replica applied: the
+// returned count is the first successful replica's. A replica that
+// fails after a sibling acked is DIVERGED — it missed a mutation the
+// caller was told happened — so it is pulled from the read rotation
+// and the write is queued for resync; the same goes for replicas that
+// were already diverged when this write arrived (their queue grows, in
+// order). Only when zero replicas applied does the call fail, and then
+// nothing is queued anywhere: the write didn't happen, the group is
+// still internally consistent, and the caller is expected to retry.
+func (c *Coordinator) writeGroup(ctx context.Context, gi int, pw pendingWrite) (int, error) {
 	g := c.groups[gi]
+	applied, acked := 0, false
+	var firstErr error
+	var behind []*replica // replicas that owe this write if it acks
 	for ri, r := range g.replicas {
-		if err := write(ctx, r.ep); err != nil {
-			return fmt.Errorf("shard %d replica %d (%s): %w", gi, ri, r.ep.Base(), err)
+		if r.isDiverged() {
+			behind = append(behind, r)
+			continue
+		}
+		n, err := applyWrite(ctx, r.ep, pw)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d replica %d (%s): %w", gi, ri, r.ep.Base(), err)
+			}
+			behind = append(behind, r)
+			continue
+		}
+		if !acked {
+			applied, acked = n, true
 		}
 	}
-	return nil
+	if !acked {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: every replica is diverged and awaiting resync", gi)
+		}
+		return 0, firstErr
+	}
+	for _, r := range behind {
+		if r.divergeOn(pw) {
+			c.metrics.replicaDivergence.Add(1)
+		}
+	}
+	return applied, nil
+}
+
+// applyWrite performs one pendingWrite against one endpoint.
+func applyWrite(ctx context.Context, ep *client.Endpoint, pw pendingWrite) (int, error) {
+	var resp *server.MutateResponse
+	var err error
+	if len(pw.insert) > 0 {
+		resp, err = ep.Insert(ctx, pw.insert)
+	} else {
+		resp, err = ep.Delete(ctx, pw.del, pw.delMissingOK)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return resp.Applied, nil
+}
+
+// drainReplica replays a diverged replica's queued writes in arrival
+// order and, once the queue is empty, clears the divergence flag —
+// putting the replica back into the read rotation. Reports whether the
+// drain completed. Stops (leaving the replica diverged) at the first
+// write that still fails; the next probe retries from where it left
+// off. alreadyApplied tolerates the duplicate-delivery case: the
+// original request may have been applied server-side before the ack
+// was lost, so replay answers like 409-duplicate mean "this write is
+// already in" and the queue advances.
+func (c *Coordinator) drainReplica(ctx context.Context, r *replica) bool {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		return false // another drain is mid-replay; let it finish
+	}
+	r.draining = true
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.draining = false
+		r.mu.Unlock()
+	}()
+	for {
+		r.mu.Lock()
+		if len(r.pending) == 0 {
+			r.diverged = false
+			r.mu.Unlock()
+			c.metrics.replicaResyncs.Add(1)
+			return true
+		}
+		pw := r.pending[0]
+		r.mu.Unlock()
+		if _, err := applyWrite(ctx, r.ep, pw); err != nil && !alreadyApplied(pw, err) {
+			return false
+		}
+		r.mu.Lock()
+		r.pending = r.pending[1:]
+		r.mu.Unlock()
+	}
+}
+
+// alreadyApplied reports whether a resync replay error proves the
+// write is already present on the replica. Mutations are atomic per
+// request server-side (the snapshot swaps once or not at all), so a
+// 409 on an insert replay means the whole batch is in; a 404 on a
+// strict delete replay means the IDs are already gone.
+func alreadyApplied(pw pendingWrite, err error) bool {
+	var se *client.StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	if len(pw.insert) > 0 {
+		return se.Code == http.StatusConflict
+	}
+	return !pw.delMissingOK && se.Code == http.StatusNotFound
+}
+
+// ResyncReplicas synchronously replays every diverged replica's queued
+// writes (the probe loop does the same in the background). It returns
+// the number of replicas restored to the read rotation.
+func (c *Coordinator) ResyncReplicas(ctx context.Context) int {
+	restored := 0
+	for _, g := range c.groups {
+		for _, r := range g.replicas {
+			if r.isDiverged() && c.drainReplica(ctx, r) {
+				restored++
+			}
+		}
+	}
+	return restored
 }
 
 func collectFailures(errs []error) []ShardError {

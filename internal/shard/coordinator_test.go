@@ -271,9 +271,17 @@ func TestCoordinatorRoutesWrites(t *testing.T) {
 		}
 	}
 
-	// A missing ID fails the routed delete like a single node would.
-	if _, err := coord.Delete(ctx, []uint64{999_999}); err == nil {
-		t.Fatal("routed delete of a missing id succeeded")
+	// A delete that finds nothing fails like a single node's 404 …
+	if _, err := coord.Delete(ctx, []uint64{999_999}); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("routed delete of a missing id: want ErrNotFound, got %v", err)
+	}
+	// … but a partially-found routed delete succeeds with the count.
+	applied, err = coord.Delete(ctx, []uint64{5003, 999_999})
+	if err != nil {
+		t.Fatalf("partially-found routed delete: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("partially-found routed delete applied %d, want 1", applied)
 	}
 }
 
@@ -310,14 +318,34 @@ func TestCoordinatorBroadcastDelete(t *testing.T) {
 		}
 	}
 
-	// An ID found nowhere surfaces core.ErrNotFound after the found ones
-	// applied — the documented broadcast semantics.
+	// Partially-found requests succeed with the found count — not-found
+	// is an error only when NOTHING was deleted (the single-node
+	// contract: 404 means the request changed nothing).
 	applied, err = coord.Delete(ctx, []uint64{5, 888_888})
-	if !errors.Is(err, core.ErrNotFound) {
-		t.Fatalf("want ErrNotFound, got %v", err)
+	if err != nil {
+		t.Fatalf("partially-found broadcast delete: %v", err)
 	}
 	if applied != 1 {
 		t.Fatalf("applied %d of the findable ids, want 1", applied)
+	}
+
+	// All-missing is the 404 case, and nothing was mutated to get there.
+	applied, err = coord.Delete(ctx, []uint64{888_888, 999_999})
+	if !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("all-missing broadcast delete: want ErrNotFound, got %v", err)
+	}
+	if applied != 0 {
+		t.Fatalf("all-missing broadcast delete applied %d, want 0", applied)
+	}
+
+	// Duplicate IDs count once: {id, id} with id present deletes one
+	// record and succeeds — the dedup keeps the aggregate honest.
+	applied, err = coord.Delete(ctx, []uint64{9, 9, 9})
+	if err != nil {
+		t.Fatalf("duplicate-id broadcast delete: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("duplicate-id broadcast delete applied %d, want 1", applied)
 	}
 }
 

@@ -1,0 +1,358 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// Fault modes for writeFaultProxy.
+const (
+	faultNone    = iota // pass everything through
+	faultReject         // refuse mutations with 503 before they apply
+	faultLoseAck        // apply the mutation, then report 503 (lost ack)
+)
+
+// writeFaultProxy sits between httptest and one replica's handler and
+// injects write failures while leaving reads untouched. topnHits
+// counts the /v1/topn queries that reached the replica — the probe for
+// "did the coordinator fan a read out here".
+type writeFaultProxy struct {
+	inner    http.Handler
+	mode     atomic.Int32
+	topnHits atomic.Int64
+}
+
+func (p *writeFaultProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	isWrite := r.URL.Path == "/v1/insert" || r.URL.Path == "/v1/delete"
+	if r.URL.Path == "/v1/topn" {
+		p.topnHits.Add(1)
+	}
+	if isWrite {
+		switch p.mode.Load() {
+		case faultReject:
+			writeInjected(w, "injected write fault")
+			return
+		case faultLoseAck:
+			// The replica applies the write; only the acknowledgment is
+			// lost. This is the duplicate-delivery case resync must
+			// tolerate: the coordinator will replay a write the replica
+			// already holds.
+			p.inner.ServeHTTP(httptest.NewRecorder(), r)
+			writeInjected(w, "injected ack loss")
+			return
+		}
+	}
+	p.inner.ServeHTTP(w, r)
+}
+
+func writeInjected(w http.ResponseWriter, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, `{"error":%q}`, msg)
+}
+
+// faultyPair is one shard group of two replicas sharing a corpus, the
+// second behind a writeFaultProxy.
+type faultyPair struct {
+	srvA, srvB *server.Server
+	proxy      *writeFaultProxy
+	coord      *Coordinator
+}
+
+func startFaultyPair(t *testing.T, recs []core.Record, cfg Config) *faultyPair {
+	t.Helper()
+	ix, err := core.Build(recs, core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := server.New(ix, server.Config{})
+	srvB := server.New(ix, server.Config{})
+	proxy := &writeFaultProxy{inner: srvB.Handler()}
+	hsA := httptest.NewServer(srvA.Handler())
+	hsB := httptest.NewServer(proxy)
+	part, _ := NewHashPartitioner(1)
+	coord, err := New(part, [][]string{{hsA.URL, hsB.URL}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		coord.Close()
+		hsA.Close()
+		hsB.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srvA.Close(ctx)
+		srvB.Close(ctx)
+	})
+	return &faultyPair{srvA: srvA, srvB: srvB, proxy: proxy, coord: coord}
+}
+
+// TestDivergedReplicaQuarantinedUntilResync is the satellite's core
+// guarantee: a replica that missed an acked write serves NO reads —
+// hedged or otherwise — until a resync replays its backlog, and after
+// the resync it converges bit-for-bit and rejoins the rotation.
+func TestDivergedReplicaQuarantinedUntilResync(t *testing.T) {
+	recs := testRecords(t, 600, 3, 41)
+	// A real hedge timer: the point is that even timer-driven backup
+	// requests respect the quarantine.
+	fp := startFaultyPair(t, recs, Config{ProbeInterval: -1, HedgeDelay: time.Millisecond})
+	coord, proxy := fp.coord, fp.proxy
+	ctx := context.Background()
+	weights := workload.QueryWeights(10, 3, 55)
+
+	// Healthy warm-up: round-robin rotation must reach replica B.
+	for _, w := range weights {
+		if _, err := coord.TopN(ctx, w, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if proxy.topnHits.Load() == 0 {
+		t.Fatal("replica B never served a read while healthy")
+	}
+
+	// Partial write failure: B rejects, A acks — the insert SUCCEEDS
+	// and B is now diverged.
+	proxy.mode.Store(faultReject)
+	newRec := core.Record{ID: 50_000, Vector: []float64{0.9, 0.8, 0.7}}
+	applied, err := coord.Insert(ctx, []core.Record{newRec})
+	if err != nil {
+		t.Fatalf("insert with one failing replica must still ack: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied %d, want 1", applied)
+	}
+	if got := coord.metrics.replicaDivergence.Value(); got != 1 {
+		t.Fatalf("shard_replica_divergence = %d, want 1", got)
+	}
+	if _, ok := fp.srvA.Snapshot().LayerOf(newRec.ID); !ok {
+		t.Fatal("acking replica does not hold the inserted record")
+	}
+	if _, ok := fp.srvB.Snapshot().LayerOf(newRec.ID); ok {
+		t.Fatal("failed replica holds the record it rejected")
+	}
+	if !coord.GroupReady(0) {
+		t.Fatal("group with one healthy replica reported not ready")
+	}
+
+	// While diverged: every read must be exact over the post-insert
+	// corpus and NONE may touch B.
+	oracle1, err := core.Build(append(append([]core.Record{}, recs...), newRec), core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := proxy.topnHits.Load()
+	for _, w := range weights {
+		res, err := coord.TopN(ctx, w, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := oracle1.TopN(w, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameRanking(t, res.Results, want)
+	}
+	if got := proxy.topnHits.Load(); got != base {
+		t.Fatalf("diverged replica served %d reads; stale answers reached the merge", got-base)
+	}
+
+	// A second write while diverged queues behind the first (B is
+	// skipped, not retried inline).
+	if _, err := coord.Delete(ctx, []uint64{recs[0].ID}); err != nil {
+		t.Fatalf("delete with a diverged replica must still ack: %v", err)
+	}
+	if got := coord.metrics.replicaDivergence.Value(); got != 1 {
+		t.Fatalf("re-diverging an already-diverged replica bumped the counter to %d", got)
+	}
+
+	// Heal and resync: the backlog replays in order, the replica
+	// converges to the acking replica's exact content, and rejoins.
+	proxy.mode.Store(faultNone)
+	if restored := coord.ResyncReplicas(ctx); restored != 1 {
+		t.Fatalf("resync restored %d replicas, want 1", restored)
+	}
+	if got := coord.metrics.replicaResyncs.Value(); got != 1 {
+		t.Fatalf("shard_replica_resyncs = %d, want 1", got)
+	}
+	a, b := fp.srvA.Snapshot(), fp.srvB.Snapshot()
+	if a.ContentFingerprint() != b.ContentFingerprint() {
+		t.Fatalf("replicas diverged after resync: %s vs %s", a.ContentFingerprint(), b.ContentFingerprint())
+	}
+	base = proxy.topnHits.Load()
+	for _, w := range weights {
+		if _, err := coord.TopN(ctx, w, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if proxy.topnHits.Load() == base {
+		t.Fatal("resynced replica never rejoined the read rotation")
+	}
+}
+
+// TestWriteFailsCleanWhenNoReplicaAcks: when ZERO replicas apply, the
+// write failed outright — no divergence, nothing queued, the group
+// stays consistent and serving, and a plain retry works.
+func TestWriteFailsCleanWhenNoReplicaAcks(t *testing.T) {
+	recs := testRecords(t, 300, 3, 42)
+	ix, err := core.Build(recs, core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(ix, server.Config{})
+	proxy := &writeFaultProxy{inner: srv.Handler()}
+	hs := httptest.NewServer(proxy)
+	part, _ := NewHashPartitioner(1)
+	coord, err := New(part, [][]string{{hs.URL}}, noProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		coord.Close()
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	ctx := context.Background()
+
+	proxy.mode.Store(faultReject)
+	rec := core.Record{ID: 60_000, Vector: []float64{1, 2, 3}}
+	if _, err := coord.Insert(ctx, []core.Record{rec}); err == nil {
+		t.Fatal("insert with no acking replica succeeded")
+	}
+	if got := coord.metrics.replicaDivergence.Value(); got != 0 {
+		t.Fatalf("unacked write marked %d replicas diverged; the group is still consistent", got)
+	}
+	if _, err := coord.TopN(ctx, []float64{1, 1, 1}, 5); err != nil {
+		t.Fatalf("read after failed write: %v", err)
+	}
+	proxy.mode.Store(faultNone)
+	if applied, err := coord.Insert(ctx, []core.Record{rec}); err != nil || applied != 1 {
+		t.Fatalf("retry after heal: applied=%d err=%v", applied, err)
+	}
+}
+
+// TestResyncToleratesLostAck: the replica applied the write but the
+// ack was lost, so the coordinator queues a replay the replica already
+// holds. The replay answers 409-duplicate and the drain must read that
+// as "already in" and advance, not wedge the replica out of rotation
+// forever.
+func TestResyncToleratesLostAck(t *testing.T) {
+	recs := testRecords(t, 300, 3, 43)
+	fp := startFaultyPair(t, recs, noProbe)
+	coord, proxy := fp.coord, fp.proxy
+	ctx := context.Background()
+
+	proxy.mode.Store(faultLoseAck)
+	rec := core.Record{ID: 70_000, Vector: []float64{0.1, 0.2, 0.3}}
+	if _, err := coord.Insert(ctx, []core.Record{rec}); err != nil {
+		t.Fatalf("insert with one lost ack must still ack: %v", err)
+	}
+	if got := coord.metrics.replicaDivergence.Value(); got != 1 {
+		t.Fatalf("shard_replica_divergence = %d, want 1", got)
+	}
+	// B actually holds the record despite reporting failure.
+	if _, ok := fp.srvB.Snapshot().LayerOf(rec.ID); !ok {
+		t.Fatal("fault proxy did not apply before losing the ack")
+	}
+
+	proxy.mode.Store(faultNone)
+	if restored := coord.ResyncReplicas(ctx); restored != 1 {
+		t.Fatalf("resync restored %d replicas, want 1", restored)
+	}
+	a, b := fp.srvA.Snapshot(), fp.srvB.Snapshot()
+	if a.ContentFingerprint() != b.ContentFingerprint() {
+		t.Fatal("replicas diverged after duplicate-delivery resync")
+	}
+}
+
+// TestDeleteNotFoundContract pins the cross-surface delete contract:
+// HTTP 404 if and only if the request deleted nothing, on a single
+// node and on a coordinator alike — and a 404 always means the corpus
+// is untouched.
+func TestDeleteNotFoundContract(t *testing.T) {
+	recs := testRecords(t, 800, 3, 47)
+	part, _ := NewHashPartitioner(2)
+	tc := startTestCluster(t, part, recs, 1)
+	coord, err := New(part, tc.endpoints, noProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ch := httptest.NewServer(coord.Handler())
+	defer ch.Close()
+
+	postDelete := func(base string, ids []uint64, missingOK bool) (int, server.MutateResponse) {
+		t.Helper()
+		body, _ := json.Marshal(server.DeleteRequest{IDs: ids, MissingOK: missingOK})
+		resp, err := http.Post(base+"/v1/delete", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var mr server.MutateResponse
+		json.NewDecoder(resp.Body).Decode(&mr)
+		return resp.StatusCode, mr
+	}
+	clusterLen := func() int {
+		total := 0
+		for gi := range tc.servers {
+			total += tc.servers[gi][0].Snapshot().Len()
+		}
+		return total
+	}
+
+	// Coordinator, nothing found: 404 and the corpus is untouched.
+	before := clusterLen()
+	if code, _ := postDelete(ch.URL, []uint64{700_001, 700_002}, false); code != http.StatusNotFound {
+		t.Fatalf("coordinator all-missing delete: status %d, want 404", code)
+	}
+	if clusterLen() != before {
+		t.Fatal("a 404 delete mutated the cluster")
+	}
+
+	// Coordinator, partially found: success with the found count.
+	code, mr := postDelete(ch.URL, []uint64{3, 700_001}, false)
+	if code != http.StatusOK || mr.Applied != 1 {
+		t.Fatalf("coordinator partial delete: status %d applied %d, want 200/1", code, mr.Applied)
+	}
+	if clusterLen() != before-1 {
+		t.Fatal("partial delete did not remove exactly the found id")
+	}
+
+	// Single node, nothing found: same 404, same untouched corpus —
+	// strict mode is atomic, so even a mixed request that 404s (the
+	// single node cannot know the missing id lives elsewhere) deletes
+	// nothing.
+	node := tc.https[0][0].URL
+	nodeLen := tc.servers[0][0].Snapshot().Len()
+	if code, _ := postDelete(node, []uint64{700_001}, false); code != http.StatusNotFound {
+		t.Fatalf("single-node all-missing delete: status %d, want 404", code)
+	}
+	if tc.servers[0][0].Snapshot().Len() != nodeLen {
+		t.Fatal("single-node 404 delete mutated the corpus")
+	}
+
+	// Missing-ok is the explicit opt-out on both surfaces: deleting
+	// nothing is then a 200 with applied 0 on a single node.
+	if code, mr := postDelete(node, []uint64{700_001}, true); code != http.StatusOK || mr.Applied != 0 {
+		t.Fatalf("single-node missing-ok delete: status %d applied %d, want 200/0", code, mr.Applied)
+	}
+
+	// The coordinator's not-found error is typed for Go callers too.
+	if _, err := coord.Delete(context.Background(), []uint64{700_001}); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("coordinator Delete all-missing: want ErrNotFound, got %v", err)
+	}
+}

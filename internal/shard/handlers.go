@@ -123,17 +123,20 @@ func (c *Coordinator) handleTopN(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if len(req.Ranges) > 0 {
-		// Filtered queries don't shard yet: per-shard expansion depth is
-		// unbounded (shard-local rank says nothing about global rank once
-		// a predicate drops records), so exact pushdown needs a different
-		// protocol. Single nodes serve them; the coordinator is honest
-		// about not.
-		writeErr(w, http.StatusNotImplemented, "filtered top-n is not supported through the coordinator; query a shard node directly")
+	// Normalize predicates exactly like a single node: degenerate
+	// constraints (no bounds) drop out, so an all-unbounded request takes
+	// the ordinary unfiltered scatter; empty intervals 400 here rather
+	// than fanning out a query that can only return nothing. The
+	// coordinator doesn't know the corpus dimension (dim -1 skips that
+	// check) — a bad attribute index is rejected by the first shard and
+	// its 400 passes through statusOf.
+	ranges, rngErr := server.NormalizeRanges(req.Ranges, -1)
+	if rngErr != nil {
+		writeErr(w, http.StatusBadRequest, "%v", rngErr)
 		return
 	}
 	start := time.Now()
-	res, err := c.TopN(r.Context(), req.Weights, req.N)
+	res, err := c.TopNFiltered(r.Context(), req.Weights, req.N, ranges)
 	c.metrics.topnLatency.Observe(time.Since(start))
 	var perr *PartialError
 	switch {
@@ -243,7 +246,7 @@ func (c *Coordinator) health() HealthResponse {
 	}
 	for gi, g := range c.groups {
 		for _, r := range g.replicas {
-			if r.ready.Load() {
+			if r.ready.Load() && !r.isDiverged() {
 				h.ReadyReplicas[gi]++
 			}
 		}

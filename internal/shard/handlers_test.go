@@ -105,22 +105,78 @@ func TestCoordinatorHTTPBatch(t *testing.T) {
 	}
 }
 
-// TestCoordinatorHTTPFilteredIs501 pins the honest-refusal contract:
-// the coordinator does not fake filtered pushdown.
-func TestCoordinatorHTTPFilteredIs501(t *testing.T) {
+// TestCoordinatorHTTPFilteredMatchesOracle replaces the old
+// honest-refusal 501: range predicates now push down to every shard
+// (each answers its top-n qualifying records, which contain its
+// contribution to the global filtered top-n) and the total-order merge
+// must be bit-identical to a single node holding the union corpus.
+func TestCoordinatorHTTPFilteredMatchesOracle(t *testing.T) {
 	recs := testRecords(t, 300, 3, 55)
 	part, _ := NewHashPartitioner(2)
 	tc := startTestCluster(t, part, recs, 1)
 	_, hs := startCoordinatorHTTP(t, tc, part, noProbe)
 
+	w := []float64{1, 1, 1}
 	req := TopNRequest{TopNRequest: server.TopNRequest{
-		Weights: []float64{1, 1, 1}, N: 5,
-		Ranges: []server.RangeJSON{{Attr: 0, Lo: 0, Hi: 1}},
+		Weights: w, N: 5,
+		Ranges: []server.RangeJSON{{Attr: 0, Lo: server.Bound(0), Hi: server.Bound(1)}},
 	}}
 	resp := postCoord(t, hs.URL+"/v1/topn", req)
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNotImplemented {
-		t.Fatalf("status %d, want 501", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var got TopNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := tc.oracle.TopNInRanges(w, 5, map[int][2]float64{0: {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(got.Results), len(want))
+	}
+	for i, r := range got.Results {
+		if r.ID != want[i].ID || r.Score != want[i].Score {
+			t.Fatalf("rank %d: got %+v want %+v", i, r, want[i])
+		}
+	}
+
+	// Degenerate predicates normalize away at the coordinator too: an
+	// all-unbounded ranges list is served as the plain unfiltered scatter.
+	req = TopNRequest{TopNRequest: server.TopNRequest{
+		Weights: w, N: 5,
+		Ranges: []server.RangeJSON{{Attr: 0}},
+	}}
+	resp2 := postCoord(t, hs.URL+"/v1/topn", req)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("degenerate filter status %d, want 200", resp2.StatusCode)
+	}
+	var got2 TopNResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&got2); err != nil {
+		t.Fatal(err)
+	}
+	want2, _, err := tc.oracle.TopN(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got2.Results {
+		if r.ID != want2[i].ID || r.Score != want2[i].Score {
+			t.Fatalf("degenerate filter rank %d: got %+v want %+v", i, r, want2[i])
+		}
+	}
+
+	// An empty interval is still a parse-time 400, not a scatter.
+	req = TopNRequest{TopNRequest: server.TopNRequest{
+		Weights: w, N: 5,
+		Ranges: []server.RangeJSON{{Attr: 0, Lo: server.Bound(2), Hi: server.Bound(1)}},
+	}}
+	resp3 := postCoord(t, hs.URL+"/v1/topn", req)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty interval status %d, want 400", resp3.StatusCode)
 	}
 }
 

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/shard/client"
@@ -32,6 +33,12 @@ func hedged[T any](ctx context.Context, c *Coordinator, gi int, call func(contex
 	var zero T
 	g := c.groups[gi]
 	order := g.order()
+	if len(order) == 0 {
+		// Every replica of the group is diverged: serving from any of
+		// them would return data older than an acked write. Fail fast
+		// rather than sitting on the shard deadline.
+		return zero, fmt.Errorf("shard %d: every replica is diverged and awaiting resync", gi)
+	}
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
 	// Cancelling on return is what reels the losing replica back in:
 	// its request context dies the moment the winner's response is

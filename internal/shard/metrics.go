@@ -30,6 +30,10 @@ type metrics struct {
 	writeFailures    expvar.Int // write fan-outs with >=1 replica failing
 	probesPerformed  expvar.Int // readiness probes issued
 	replicasNotReady expvar.Int // probes that found a replica not ready
+	// replicaDivergence counts replicas that missed a write the group
+	// acked and were pulled from the read rotation until resynced.
+	replicaDivergence expvar.Int
+	replicaResyncs    expvar.Int // diverged replicas drained back into rotation
 
 	topnLatency  *telemetry.Histogram // whole fan-out+merge, /v1/topn
 	batchLatency *telemetry.Histogram // whole fan-out+merge, /v1/topn/batch
@@ -66,6 +70,8 @@ func newMetrics(shards int) *metrics {
 	v.Set("write_failures", &m.writeFailures)
 	v.Set("probes_performed", &m.probesPerformed)
 	v.Set("replicas_not_ready", &m.replicasNotReady)
+	v.Set("shard_replica_divergence", &m.replicaDivergence)
+	v.Set("shard_replica_resyncs", &m.replicaResyncs)
 	v.Set("topn_latency_ms", expvar.Func(func() any { return m.topnLatency.Summary() }))
 	v.Set("batch_latency_ms", expvar.Func(func() any { return m.batchLatency.Summary() }))
 	for g := 0; g < shards; g++ {

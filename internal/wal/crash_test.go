@@ -39,8 +39,12 @@ func buildIndex(t testing.TB, n, d int, seed int64) *core.Index {
 }
 
 // durableServer couples a server to a WAL manager on the given
-// filesystem, bootstrapping from a fresh build.
-func durableServer(t *testing.T, fs vfs.FS, dir string, n, d int, seed int64) (*server.Server, *wal.Manager, *core.Index) {
+// filesystem, bootstrapping from a fresh build. deltaThreshold selects
+// the write path: -1 for the legacy synchronous cascade (every
+// published snapshot fully layered, so layer-partition fingerprints
+// are a recovery oracle), positive for the incremental delta path
+// (recovery re-cascades, so only content is comparable).
+func durableServer(t *testing.T, fs vfs.FS, dir string, n, d int, seed int64, deltaThreshold int) (*server.Server, *wal.Manager, *core.Index) {
 	t.Helper()
 	mgr, rec, err := wal.Open(dir, wal.Config{FS: fs, CheckpointBytes: -1, Options: core.Options{Seed: seed}})
 	if err != nil {
@@ -53,7 +57,7 @@ func durableServer(t *testing.T, fs vfs.FS, dir string, n, d int, seed int64) (*
 	if err := mgr.Bootstrap(base); err != nil {
 		t.Fatal(err)
 	}
-	return server.New(base, server.Config{WAL: mgr}), mgr, base
+	return server.New(base, server.Config{WAL: mgr, DeltaThreshold: deltaThreshold}), mgr, base
 }
 
 // dataFiles returns the live (checkpoint, wal) file names in dir.
@@ -98,10 +102,13 @@ func writeDurable(t *testing.T, fs *vfs.CrashFS, dir, name string, data []byte) 
 // runSerialOps drives mutations through the serving layer one at a
 // time — each op is one publish and one WAL record — and returns the
 // published fingerprint after each op, with fps[0] the pre-op state.
-func runSerialOps(t *testing.T, s *server.Server, base *core.Index, d, ops int) []string {
+// fp selects the oracle: (*core.Index).Fingerprint for the legacy
+// fully-layered write path, (*core.Index).ContentFingerprint for the
+// delta path (where recovery re-cascades and only content matches).
+func runSerialOps(t *testing.T, s *server.Server, base *core.Index, d, ops int, fp func(*core.Index) string) []string {
 	t.Helper()
 	ctx := context.Background()
-	fps := []string{base.Fingerprint()}
+	fps := []string{fp(base)}
 	for i := 0; i < ops; i++ {
 		if i%3 == 2 {
 			// Delete a seed record that is still present.
@@ -118,7 +125,7 @@ func runSerialOps(t *testing.T, s *server.Server, base *core.Index, d, ops int) 
 				t.Fatalf("op %d insert: %v", i, err)
 			}
 		}
-		fps = append(fps, s.Snapshot().Fingerprint())
+		fps = append(fps, fp(s.Snapshot()))
 	}
 	return fps
 }
@@ -134,8 +141,8 @@ func TestCrashAtEveryWALOffset(t *testing.T) {
 	const dim = 2
 	const ops = 8
 	fs := vfs.NewCrashFS()
-	s, _, base := durableServer(t, fs, "/data", 120, dim, 17)
-	fps := runSerialOps(t, s, base, dim, ops)
+	s, _, base := durableServer(t, fs, "/data", 120, dim, 17, -1)
+	fps := runSerialOps(t, s, base, dim, ops, (*core.Index).Fingerprint)
 
 	// Power loss: no Close, no final checkpoint.
 	fs.Crash()
@@ -190,8 +197,8 @@ func TestCrashAfterMidwayCheckpoint(t *testing.T) {
 	const dim = 2
 	const before, after = 4, 4
 	fs := vfs.NewCrashFS()
-	s, mgr, base := durableServer(t, fs, "/data", 100, dim, 23)
-	fps := runSerialOps(t, s, base, dim, before)
+	s, mgr, base := durableServer(t, fs, "/data", 100, dim, 23, -1)
+	fps := runSerialOps(t, s, base, dim, before, (*core.Index).Fingerprint)
 	if err := mgr.Checkpoint(s.Snapshot()); err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +269,7 @@ func TestRestartServesIdenticalTopN(t *testing.T) {
 	if err := mgr.Bootstrap(base); err != nil {
 		t.Fatal(err)
 	}
-	s := server.New(base, server.Config{WAL: mgr})
+	s := server.New(base, server.Config{WAL: mgr, DeltaThreshold: -1})
 	ts := httptest.NewServer(s.Handler())
 
 	ctx := context.Background()
@@ -306,7 +313,7 @@ func TestRestartServesIdenticalTopN(t *testing.T) {
 	if got := rec2.Fingerprint(); got != wantFp {
 		t.Fatalf("recovered fingerprint %s, want %s", got, wantFp)
 	}
-	s2 := server.New(rec2, server.Config{WAL: mgr2})
+	s2 := server.New(rec2, server.Config{WAL: mgr2, DeltaThreshold: -1})
 	ts2 := httptest.NewServer(s2.Handler())
 	defer func() {
 		ts2.Close()
@@ -316,6 +323,151 @@ func TestRestartServesIdenticalTopN(t *testing.T) {
 	body2 := query(ts2.URL)
 	if body1 != body2 {
 		t.Fatalf("restarted /v1/topn differs:\n before: %s\n after:  %s", body1, body2)
+	}
+}
+
+// TestCrashAtEveryWALOffsetDeltaMode repeats the byte-offset torture
+// with the incremental write path active: every published snapshot
+// carries its mutations in the delta buffer, and the WAL frames those
+// delta-buffered operations exactly as it frames cascaded ones.
+// Recovery replays through the synchronous cascades, so the recovered
+// layer partition differs from the live delta-carrying snapshot by
+// construction — the oracle is logical content (and, at the full
+// prefix, bit-identical query answers), not layer structure.
+func TestCrashAtEveryWALOffsetDeltaMode(t *testing.T) {
+	const dim = 2
+	const ops = 8
+	fs := vfs.NewCrashFS()
+	s, _, base := durableServer(t, fs, "/data", 120, dim, 17, 1<<20)
+	fps := runSerialOps(t, s, base, dim, ops, (*core.Index).ContentFingerprint)
+	live := s.Snapshot()
+	if !live.HasDelta() {
+		t.Fatal("delta-mode server published a snapshot with no pending delta")
+	}
+
+	fs.Crash()
+	cpName, wlName := dataFiles(t, fs, "/data")
+	cp, err := fs.ReadFile("/data/" + cpName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := fs.ReadFile("/data/" + wlName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := wl[wal.HeaderSize:]
+	ends := wal.RecordEnds(body, dim)
+	if len(ends) != ops {
+		t.Fatalf("durable log holds %d records, want %d", len(ends), ops)
+	}
+
+	for cut := 0; cut <= len(body); cut++ {
+		complete := 0
+		for _, e := range ends {
+			if e <= cut {
+				complete++
+			}
+		}
+		fs2 := vfs.NewCrashFS()
+		if err := fs2.MkdirAll("/data", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeDurable(t, fs2, "/data", cpName, cp)
+		writeDurable(t, fs2, "/data", wlName, wl[:wal.HeaderSize+cut])
+		m2, rec, err := wal.Open("/data", wal.Config{FS: fs2, CheckpointBytes: -1, Options: core.Options{Seed: 17}})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		if rec == nil {
+			t.Fatalf("cut %d: no state recovered", cut)
+		}
+		if got := rec.ContentFingerprint(); got != fps[complete] {
+			t.Fatalf("cut %d (%d complete records): content fingerprint %s, want %s",
+				cut, complete, got, fps[complete])
+		}
+		if cut == len(body) {
+			// Full durable prefix: the recovered (fully layered) index must
+			// rank bit-identically to the live delta-carrying snapshot.
+			w := []float64{0.6, 0.4}
+			want, _, _ := live.TopN(w, 15)
+			got, _, _ := rec.TopN(w, 15)
+			if len(got) != len(want) {
+				t.Fatalf("recovered top-15 has %d results, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+					t.Fatalf("recovered rank %d = (%d, %v), live = (%d, %v)",
+						i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+				}
+			}
+		}
+		m2.Close()
+	}
+}
+
+// TestCheckpointWithPendingDelta forces a checkpoint while the live
+// snapshot still carries unfolded delta records and tombstones. The
+// on-disk layer format cannot represent a delta, so the manager must
+// fold a compacted copy — losing the delta inserts or resurrecting
+// tombstoned records here would corrupt every later recovery.
+func TestCheckpointWithPendingDelta(t *testing.T) {
+	const dim = 2
+	fs := vfs.NewCrashFS()
+	s, mgr, base := durableServer(t, fs, "/data", 100, dim, 23, 1<<20)
+	fps := runSerialOps(t, s, base, dim, 6, (*core.Index).ContentFingerprint)
+	snap := s.Snapshot()
+	if !snap.HasDelta() {
+		t.Fatal("expected a pending delta before the forced checkpoint")
+	}
+	if err := mgr.Checkpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.HasDelta() != true {
+		t.Fatal("checkpoint must not mutate the snapshot it persists")
+	}
+	// A few more delta-buffered ops land in the post-checkpoint log.
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		rec := core.Record{ID: uint64(30000 + i), Vector: []float64{float64(i) + 0.25, -float64(i)}}
+		if err := s.Insert(ctx, []core.Record{rec}); err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, s.Snapshot().ContentFingerprint())
+	}
+
+	fs.Crash()
+	cpName, wlName := dataFiles(t, fs, "/data")
+	cp, _ := fs.ReadFile("/data/" + cpName)
+	wl, _ := fs.ReadFile("/data/" + wlName)
+	body := wl[wal.HeaderSize:]
+	ends := wal.RecordEnds(body, dim)
+	if len(ends) != 3 {
+		t.Fatalf("post-checkpoint log holds %d records, want 3", len(ends))
+	}
+	for cut := 0; cut <= len(body); cut++ {
+		complete := 0
+		for _, e := range ends {
+			if e <= cut {
+				complete++
+			}
+		}
+		fs2 := vfs.NewCrashFS()
+		if err := fs2.MkdirAll("/data", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeDurable(t, fs2, "/data", cpName, cp)
+		writeDurable(t, fs2, "/data", wlName, wl[:wal.HeaderSize+cut])
+		m2, rec, err := wal.Open("/data", wal.Config{FS: fs2, CheckpointBytes: -1, Options: core.Options{Seed: 23}})
+		if err != nil || rec == nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		// The checkpoint pins the state after 6 ops (delta folded in);
+		// each complete tail record advances one state past it.
+		if got := rec.ContentFingerprint(); got != fps[6+complete] {
+			t.Fatalf("cut %d (%d complete tail records): content fingerprint %s, want %s",
+				cut, complete, got, fps[6+complete])
+		}
+		m2.Close()
 	}
 }
 

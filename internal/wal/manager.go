@@ -456,6 +456,17 @@ func (m *Manager) rotateLocked(ix *core.Index) error {
 	start := time.Now()
 	next := m.seq + 1
 	cpPath := filepath.Join(m.dir, checkpointName(next))
+	if ix.HasDelta() {
+		// The on-disk format stores layers only; a raw write would drop
+		// pending delta inserts and resurrect tombstoned records. Fold
+		// the delta into a private compacted copy first — the logical
+		// state (and hence recovery) is unchanged.
+		folded, err := ix.CompactedClone()
+		if err != nil {
+			return fmt.Errorf("wal: checkpoint %d: compact delta: %w", next, err)
+		}
+		ix = folded
+	}
 	if err := storage.WriteFS(m.fs, cpPath, ix); err != nil {
 		return fmt.Errorf("wal: checkpoint %d: %w", next, err)
 	}

@@ -26,6 +26,15 @@ go vet ./...
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
 
+# Replica divergence under fault injection, raced: a replica that
+# misses an acked write must vanish from the read rotation until a
+# resync replays its backlog, and the merge must stay exact throughout.
+# The full suite above already runs this; repeating it with -count=2
+# under -race shakes out ordering flakes in the quarantine/resync
+# handshake cheaply.
+echo "== shard divergence fault injection (-race, -count=2)"
+go test -race -count=2 -run 'TestDivergedReplica|TestResyncTolerates|TestWriteFailsClean' ./internal/shard
+
 # Short-budget fuzz passes. Seconds each, so regressions in the WAL
 # replayer (panic on crash garbage, non-canonical re-encoding) and the
 # query path (TopN vs brute force under adversarial weights) surface in
@@ -78,5 +87,15 @@ go run ./cmd/onionbench -cache-scaling -n 3000 -queries 64 -cache-out "$cache_ou
 # cmd/onioncoord. The committed BENCH_shard.json is the full-size run.
 echo "== sharded serving equivalence smoke (onionbench -shard-scaling)"
 go run ./cmd/onionbench -shard-scaling -n 3000 -queries 24 -shard-counts 1,3 -shard-replicas 1,2 -shard-out "$shard_out"
+
+# Write-path smoke: concurrent readers against a sustained mutation
+# stream through the delta buffer, with background compaction, gated on
+# sampled brute-force checks, a final rebuild-oracle bit-equivalence
+# pass, and zero stale-reads-after-ack. Exits non-zero on any
+# divergence. The committed BENCH_write.json is the full-size (1M) run.
+echo "== mixed read/write workload smoke (onionbench -mixed-workload)"
+mixed_out="$(mktemp)"
+go run ./cmd/onionbench -mixed-workload -n 5000 -mixed-dur 4s -mixed-rate 0 -mixed-out "$mixed_out"
+rm -f "$mixed_out"
 
 echo "CI OK"
