@@ -68,6 +68,13 @@ var (
 	mixedDTFlag   = flag.Int("mixed-delta-threshold", 0, "mixed-workload: server delta compaction threshold (0 = server default, negative = legacy synchronous cascade)")
 	mixedOutFlag  = flag.String("mixed-out", "BENCH_write.json", "mixed-workload: summary JSON output path")
 
+	compactionFlag   = flag.Bool("compaction-scaling", false, "sweep background-fold cost (flat full re-peel vs hierarchical per-cluster fold) across corpus and delta sizes instead of running experiments; gates every publish on a brute-force + flat-twin bit-equivalence oracle, emits -compaction-out JSON")
+	compSizesFlag    = flag.String("compaction-sizes", "10000,40000,160000", "compaction-scaling: comma-separated corpus sizes (-n overrides with a single size)")
+	compDeltasFlag   = flag.String("compaction-deltas", "64,512,4096", "compaction-scaling: comma-separated delta-buffer sizes to fold")
+	compClustersFlag = flag.Int("compaction-clusters", 0, "compaction-scaling: k-means cluster count (0 = heuristic, ~4096 records per cluster)")
+	compRoundsFlag   = flag.Int("compaction-rounds", 2, "compaction-scaling: folds measured per configuration")
+	compOutFlag      = flag.String("compaction-out", "BENCH_compact.json", "compaction-scaling: summary JSON output path")
+
 	serveLoadFlag = flag.String("serve-load", "", "load-test a query server instead of running experiments: a base URL like http://host:8080, or 'self' to serve a synthetic corpus in-process")
 	serveConcFlag = flag.Int("serve-conc", 16, "serve-load: concurrent clients")
 	serveDurFlag  = flag.Duration("serve-dur", 10*time.Second, "serve-load: measurement duration")
@@ -164,6 +171,19 @@ func main() {
 		// the committed baseline runs at the experiment suite's full 1M
 		// scale; -n/-quick shrink it for CI smokes.
 		mixedWorkload(n, *mixedReaders, *mixedRateFlag, *mixedDurFlag, *mixedDTFlag, *mixedOutFlag)
+		return
+	}
+	if *compactionFlag {
+		// Same convention as the other scaling modes: the committed
+		// baseline sweeps the -compaction-sizes list; an explicit -n
+		// collapses the sweep to that single corpus for CI smokes.
+		sizes := *compSizesFlag
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				sizes = fmt.Sprint(n)
+			}
+		})
+		compactionScaling(sizes, *compDeltasFlag, *compClustersFlag, *compRoundsFlag, *compOutFlag)
 		return
 	}
 	if *serveLoadFlag != "" {

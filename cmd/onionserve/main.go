@@ -22,7 +22,11 @@
 // delta buffer that every query merges on the total order, and
 // published by atomic pointer swap in O(delta) — a background
 // compactor folds the buffer into the layered index past
-// -delta-threshold (see internal/server). With -data-dir, every mutation
+// -delta-threshold (see internal/server). With -hier-compaction the
+// fold is hierarchical (paper Section 4): the corpus is partitioned by
+// k-means once at boot and each compaction re-peels only the clusters
+// whose membership changed, bounding fold cost by delta and cluster
+// size instead of corpus size. With -data-dir, every mutation
 // batch is group-committed to a write-ahead log before its snapshot is
 // published, and restart recovers the newest checkpoint plus the log's
 // valid prefix (see internal/wal and the README's Durability section).
@@ -45,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hierarchy"
 	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -71,6 +76,8 @@ var (
 	pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	cacheFlag    = flag.Int64("cache-bytes", 0, "byte budget of the weight-keyed top-N result cache (0 = disabled)")
 	cShardsFlag  = flag.Int("cache-shards", 0, "lock shards of the result cache (0 = 8)")
+	hierFlag     = flag.Bool("hier-compaction", false, "fold the delta buffer per k-means cluster (paper §4) instead of re-hulling the whole index on every background compaction")
+	clustersFlag = flag.Int("compaction-clusters", 0, "cluster count for -hier-compaction (0 = ~4096 records per cluster, capped at 256)")
 )
 
 func main() {
@@ -108,6 +115,23 @@ func main() {
 	// scoring use the configured worker bound (clones inherit it).
 	ix.SetParallelism(*parFlag)
 	log.Printf("index ready: %d records, %d attributes, %d layers", ix.Len(), ix.Dim(), ix.NumLayers())
+	if *hierFlag {
+		if ix.Len() == 0 {
+			log.Print("hier-compaction: corpus empty, compacting flat until restart with data")
+		} else {
+			start := time.Now()
+			c, err := hierarchy.Attach(ix, hierarchy.CompactorOptions{
+				Clusters: *clustersFlag,
+				Build:    core.Options{Seed: *seedFlag, Parallelism: *parFlag},
+				Seed:     *seedFlag,
+			})
+			if err != nil {
+				log.Fatalf("hier-compaction: %v", err)
+			}
+			log.Printf("hier-compaction: %d clusters over %d records in %v",
+				c.NumClusters(), ix.Len(), time.Since(start).Round(time.Millisecond))
+		}
+	}
 
 	cfg := server.Config{
 		MaxInFlight:    *inflightFlag,

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/geom"
+	"repro/internal/parallel"
 )
 
 // Options configures KMeans.
@@ -21,6 +22,14 @@ type Options struct {
 	// Tol stops iterating once no centroid moves farther than Tol.
 	// Zero selects 1e-9.
 	Tol float64
+	// Workers bounds the goroutines used by the per-point scans
+	// (assignment, D² seeding distances). 0 = one per CPU, 1 = fully
+	// sequential. The clustering produced — labels, centers,
+	// iteration count — is bit-identical at every setting: the
+	// parallel scans write only per-point slots, and every
+	// floating-point accumulation (centroid sums, D² totals) runs
+	// sequentially in point order.
+	Workers int
 }
 
 // Result holds a clustering.
@@ -31,6 +40,26 @@ type Result struct {
 	Centers [][]float64
 	// Iterations actually performed.
 	Iterations int
+}
+
+// scanMinChunk is the smallest per-worker range worth forking for the
+// point scans (each index costs k distance computations).
+const scanMinChunk = 256
+
+// assign writes each point's nearest center (ties to the lowest
+// cluster index) into labels, in parallel over disjoint point ranges.
+func assign(pts [][]float64, centers [][]float64, labels []int, workers int) {
+	parallel.For(len(pts), parallel.Workers(workers), scanMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if dd := geom.Dist2(pts[i], ctr); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			labels[i] = best
+		}
+	})
 }
 
 // KMeans partitions pts into k clusters with Lloyd's algorithm seeded
@@ -53,27 +82,21 @@ func KMeans(pts [][]float64, k int, opt Options) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(opt.Seed + 42))
 
-	centers := seedPlusPlus(pts, k, rng)
+	centers := seedPlusPlus(pts, k, rng, opt.Workers)
 	labels := make([]int, len(pts))
 	counts := make([]int, k)
 	sums := make([][]float64, k)
 	for c := range sums {
 		sums[c] = make([]float64, d)
 	}
+	scratch := make([]float64, len(pts))
 
 	iters := 0
 	for ; iters < maxIter; iters++ {
-		// Assignment step.
-		for i, p := range pts {
-			best, bestD := 0, math.Inf(1)
-			for c, ctr := range centers {
-				if dd := geom.Dist2(p, ctr); dd < bestD {
-					best, bestD = c, dd
-				}
-			}
-			labels[i] = best
-		}
-		// Update step.
+		// Assignment step: per-point, parallel.
+		assign(pts, centers, labels, opt.Workers)
+		// Update step: sequential in point order so the centroid sums
+		// are bit-identical at every worker count.
 		for c := range centers {
 			counts[c] = 0
 			for j := range sums[c] {
@@ -90,9 +113,16 @@ func KMeans(pts [][]float64, k int, opt Options) (*Result, error) {
 			if counts[c] == 0 {
 				// Re-seed an empty cluster at the point farthest from
 				// its center — the standard fix for collapsed clusters.
+				// Distances land in per-point slots; the argmax scan
+				// (first index wins ties) runs sequentially.
+				parallel.For(len(pts), parallel.Workers(opt.Workers), scanMinChunk, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						scratch[i] = geom.Dist2(pts[i], centers[labels[i]])
+					}
+				})
 				far, farD := 0, -1.0
-				for i, p := range pts {
-					if dd := geom.Dist2(p, centers[labels[i]]); dd > farD {
+				for i, dd := range scratch {
+					if dd > farD {
 						far, farD = i, dd
 					}
 				}
@@ -112,34 +142,33 @@ func KMeans(pts [][]float64, k int, opt Options) (*Result, error) {
 		}
 	}
 	// Final assignment against the last centers.
-	for i, p := range pts {
-		best, bestD := 0, math.Inf(1)
-		for c, ctr := range centers {
-			if dd := geom.Dist2(p, ctr); dd < bestD {
-				best, bestD = c, dd
-			}
-		}
-		labels[i] = best
-	}
+	assign(pts, centers, labels, opt.Workers)
 	return &Result{Labels: labels, Centers: centers, Iterations: iters}, nil
 }
 
-// seedPlusPlus picks k initial centers with D² weighting.
-func seedPlusPlus(pts [][]float64, k int, rng *rand.Rand) [][]float64 {
+// seedPlusPlus picks k initial centers with D² weighting. The distance
+// scan is parallel over per-point slots; the total and the weighted
+// pick accumulate sequentially in point order, so the chosen centers
+// are identical at every worker count.
+func seedPlusPlus(pts [][]float64, k int, rng *rand.Rand, workers int) [][]float64 {
 	centers := make([][]float64, 0, k)
 	centers = append(centers, geom.Clone(pts[rng.Intn(len(pts))]))
 	d2 := make([]float64, len(pts))
 	for len(centers) < k {
-		var total float64
-		for i, p := range pts {
-			best := math.Inf(1)
-			for _, c := range centers {
-				if dd := geom.Dist2(p, c); dd < best {
-					best = dd
+		parallel.For(len(pts), parallel.Workers(workers), scanMinChunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best := math.Inf(1)
+				for _, c := range centers {
+					if dd := geom.Dist2(pts[i], c); dd < best {
+						best = dd
+					}
 				}
+				d2[i] = best
 			}
-			d2[i] = best
-			total += best
+		})
+		var total float64
+		for _, w := range d2 {
+			total += w
 		}
 		if total == 0 {
 			// All remaining points coincide with centers; duplicate one.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/workload"
@@ -42,6 +43,49 @@ func TestKMeansDeterministic(t *testing.T) {
 	for i := range a.Labels {
 		if a.Labels[i] != b.Labels[i] {
 			t.Fatal("same seed produced different labelings")
+		}
+	}
+}
+
+// TestKMeansWorkerDeterminism is the regression test for the
+// parallelism determinism fix: for a fixed seed the clustering —
+// labels, iteration count, and the exact bits of every centroid —
+// must be identical at every worker count, because the hierarchical
+// compactor's equivalence oracle replays partitions across processes
+// configured with different -parallelism. Sizes straddle the parallel
+// fork threshold so both the inline and the forked scan paths run.
+func TestKMeansWorkerDeterminism(t *testing.T) {
+	for _, n := range []int{50, 3000} {
+		for _, seed := range []int64{1, 99} {
+			pts := workload.Points(workload.Gaussian, n, 3, seed)
+			ref, err := KMeans(pts, 8, Options{Seed: seed, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 2, 4, 7} {
+				got, err := KMeans(pts, 8, Options{Seed: seed, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Iterations != ref.Iterations {
+					t.Fatalf("n=%d seed=%d workers=%d: %d iterations, want %d",
+						n, seed, workers, got.Iterations, ref.Iterations)
+				}
+				for i := range ref.Labels {
+					if got.Labels[i] != ref.Labels[i] {
+						t.Fatalf("n=%d seed=%d workers=%d: label[%d]=%d, want %d",
+							n, seed, workers, i, got.Labels[i], ref.Labels[i])
+					}
+				}
+				for c := range ref.Centers {
+					for j := range ref.Centers[c] {
+						if math.Float64bits(got.Centers[c][j]) != math.Float64bits(ref.Centers[c][j]) {
+							t.Fatalf("n=%d seed=%d workers=%d: center[%d][%d] bits differ",
+								n, seed, workers, c, j)
+						}
+					}
+				}
+			}
 		}
 	}
 }

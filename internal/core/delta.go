@@ -257,6 +257,7 @@ func (ix *Index) CloneDelta() *Index {
 		slabs:    ix.slabs,
 		maxLayer: ix.maxLayer,
 		noPrune:  ix.noPrune,
+		cc:       ix.cc,
 		shared:   true,
 	}
 	ix.shared = true
@@ -274,6 +275,12 @@ func (ix *Index) CloneDelta() *Index {
 // index (see CompactedClone); on a cascade error the index may be left
 // torn, so compact a disposable clone and discard it on failure.
 func (ix *Index) Compact() error {
+	if ix.cc != nil {
+		// Hierarchical path (clustered.go): per-cluster re-peel, safe
+		// even on a shared base — the fold replaces the base arrays
+		// instead of cascading through them.
+		return ix.compactClustered()
+	}
 	if ix.shared {
 		return errSharedBase
 	}
@@ -307,6 +314,17 @@ func (ix *Index) Compact() error {
 // one a checkpoint persists (the on-disk layer format cannot represent
 // a delta). The receiver is untouched.
 func (ix *Index) CompactedClone() (*Index, error) {
+	if ix.cc != nil && ix.delta != nil {
+		// Hierarchical path: skip the O(n) deep Clone — the fold never
+		// mutates the shared base arrays, it replaces them — so the
+		// clone is O(delta) and the fold cost is bounded by the
+		// affected clusters.
+		cp := ix.cloneForFold()
+		if err := cp.compactClustered(); err != nil {
+			return nil, err
+		}
+		return cp, nil
+	}
 	cp := ix.Clone()
 	if err := cp.Compact(); err != nil {
 		return nil, err

@@ -85,6 +85,12 @@ type Index struct {
 	// that keeps structural maintenance off shallow clones.
 	delta  *deltaState
 	shared bool
+
+	// Hierarchical compaction (see clustered.go): when attached,
+	// Compact folds the delta per-cluster instead of re-hulling the
+	// whole index. Immutable, shared by clones, detached by legacy
+	// structural maintenance.
+	cc ClusterCompactor
 }
 
 // Build peels records into a layered convex hull. Record IDs must be

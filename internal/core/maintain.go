@@ -284,10 +284,12 @@ func (ix *Index) Update(id uint64, vector []float64) error {
 // alloc stores a record and returns its position. Any mutation
 // invalidates the optional sorted-column fast path and the columnar
 // scoring slabs (both are derived from a layer partition this mutation
-// is about to change).
+// is about to change), and detaches the hierarchical compactor (its
+// per-cluster record sets no longer describe the base).
 func (ix *Index) alloc(rec Record) int {
 	ix.sorted = nil
 	ix.invalidateSlabs()
+	ix.cc = nil
 	vec := make([]float64, len(rec.Vector))
 	copy(vec, rec.Vector)
 	var pos int
@@ -311,6 +313,7 @@ func (ix *Index) alloc(rec Record) int {
 func (ix *Index) unalloc(id uint64, pos int) {
 	ix.sorted = nil
 	ix.invalidateSlabs()
+	ix.cc = nil
 	delete(ix.posOf, id)
 	ix.pts[pos] = nil
 	ix.layerOf[pos] = -1

@@ -33,6 +33,9 @@ func (ix *Index) Clone() *Index {
 		slabs:    ix.slabs,
 		maxLayer: ix.maxLayer,
 		noPrune:  ix.noPrune,
+		// The hierarchical compactor is immutable (folds return a
+		// successor), so it too is shared by reference.
+		cc: ix.cc,
 	}
 	for k, l := range ix.layers {
 		cp.layers[k] = append([]int(nil), l...)

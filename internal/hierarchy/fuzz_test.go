@@ -1,0 +1,88 @@
+package hierarchy
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzHierarchyPersistRoundTrip feeds arbitrary bytes into the two
+// on-disk artifacts of a persisted hierarchy — the JSON manifest and a
+// child index file — and loads the directory. Two properties:
+//
+//  1. Load never panics on corrupt or truncated input: garbage on disk
+//     is data to reject with an error, not a crash of our own;
+//  2. anything Load accepts round-trips — Save to a fresh directory and
+//     Load back must succeed and preserve the record count, dimension,
+//     and labels.
+//
+// The seed corpus is a genuinely saved hierarchy, so mutations explore
+// the neighborhood of valid files, not just random noise.
+func FuzzHierarchyPersistRoundTrip(f *testing.F) {
+	groups := map[string][]core.Record{
+		"a": {{ID: 1, Vector: []float64{0, 1}}, {ID: 2, Vector: []float64{3, -1}}, {ID: 3, Vector: []float64{-2, 2}}, {ID: 4, Vector: []float64{0.5, 0.5}}},
+		"b": {{ID: 5, Vector: []float64{10, 1}}, {ID: 6, Vector: []float64{11, -1}}, {ID: 7, Vector: []float64{12, 2}}},
+	}
+	h, err := Build(groups, core.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedDir := f.TempDir()
+	if err := h.Save(seedDir); err != nil {
+		f.Fatal(err)
+	}
+	man, err := os.ReadFile(filepath.Join(seedDir, manifestName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	child, err := os.ReadFile(filepath.Join(seedDir, childFile(0)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(man, child)
+	f.Add(man, child[:len(child)/2])
+	f.Add([]byte(`{"version":1,"dim":2,"children":["a"]}`), child)
+	f.Add([]byte(`{"version":1,"dim":2,"children":["a"]}`), []byte{})
+	f.Add([]byte(`{"version":2}`), []byte("junk"))
+
+	f.Fuzz(func(t *testing.T, manifest, childData []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, manifestName), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Fuzzed bytes stand in for every child the manifest names, so
+		// a multi-child manifest cannot dodge corruption via a missing-
+		// file error on child_1.
+		for i := 0; i < 4; i++ {
+			if err := os.WriteFile(filepath.Join(dir, childFile(i)), childData, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := Load(dir)
+		if err != nil {
+			return // rejected cleanly; that is the contract
+		}
+		dir2 := t.TempDir()
+		if err := got.Save(dir2); err != nil {
+			t.Fatalf("save of loaded hierarchy: %v", err)
+		}
+		back, err := Load(dir2)
+		if err != nil {
+			t.Fatalf("re-load of saved hierarchy: %v", err)
+		}
+		if back.Len() != got.Len() || back.Dim() != got.Dim() {
+			t.Fatalf("round trip: len=%d dim=%d, want %d/%d", back.Len(), back.Dim(), got.Len(), got.Dim())
+		}
+		la, lb := got.Labels(), back.Labels()
+		if len(la) != len(lb) {
+			t.Fatalf("round trip: %d labels, want %d", len(lb), len(la))
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("round trip: label[%d]=%q, want %q", i, lb[i], la[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/workload"
+)
+
+// TestHierarchicalCompactionUnderLoad is the serving-layer gate for the
+// per-cluster compactor: the exact reader/writer script of
+// TestCompactionFoldsDeltaUnderLoad, but with a hierarchy.Compactor
+// attached to the boot index, so every background fold re-peels only
+// affected clusters. The server's publish path is untouched by design —
+// this test proves the swap-in is invisible: folds land (metrics),
+// never error, the compactor survives every publish, and the final
+// snapshot is content- and ranking-identical to a ground-up rebuild.
+func TestHierarchicalCompactionUnderLoad(t *testing.T) {
+	const n, d = 400, 3
+	base := buildIndex(t, n, d, 31)
+	if _, err := hierarchy.Attach(base, hierarchy.CompactorOptions{Clusters: 6, Seed: 31}); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	s := New(base, Config{DeltaThreshold: 16, CacheBytes: 1 << 20})
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w := []float64{0.2 + float64(r)*0.3, 0.5, 0.3}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, _, err := s.Snapshot().TopN(w, 12)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				for i := 1; i < len(res); i++ {
+					if res[i].Score > res[i-1].Score {
+						t.Errorf("reader %d: scores increase at rank %d", r, i)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	live := make(map[uint64][]float64, n)
+	seedPts := workload.Points(workload.Gaussian, n, d, 31)
+	for i, p := range seedPts {
+		live[uint64(i+1)] = p
+	}
+	extra := workload.Points(workload.Uniform, 240, d, 63)
+	for i, p := range extra {
+		id := uint64(10000 + i)
+		if err := s.Insert(ctx, []core.Record{{ID: id, Vector: p}}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		live[id] = p
+		if i%3 == 0 {
+			victim := uint64(i + 1)
+			if err := s.Delete(ctx, []uint64{victim}); err != nil {
+				t.Fatalf("delete seed %d: %v", victim, err)
+			}
+			delete(live, victim)
+		}
+		if i%4 == 3 {
+			victim := uint64(10000 + i - 2)
+			if err := s.Delete(ctx, []uint64{victim}); err != nil {
+				t.Fatalf("delete extra %d: %v", victim, err)
+			}
+			delete(live, victim)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := s.Close(cctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.metrics.compactions.Value(); got < 1 {
+		t.Fatalf("no background compaction landed (threshold 16, 240 mutations)")
+	}
+	if got := s.metrics.compactionErrors.Value(); got != 0 {
+		t.Fatalf("%d compaction errors", got)
+	}
+
+	snap := s.Snapshot()
+	if snap.ClusterCompactor() == nil {
+		t.Fatal("final snapshot lost the hierarchical compactor")
+	}
+	recs := make([]core.Record, 0, len(live))
+	for id, v := range live {
+		recs = append(recs, core.Record{ID: id, Vector: v})
+	}
+	oracle, err := core.Build(recs, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != len(live) {
+		t.Fatalf("served %d live records, want %d", snap.Len(), len(live))
+	}
+	if got, want := snap.ContentFingerprint(), oracle.ContentFingerprint(); got != want {
+		t.Fatalf("served content %s, rebuild oracle %s", got, want)
+	}
+	for _, w := range [][]float64{{1, 1, 1}, {0.7, 0.2, 0.1}, {-0.3, 0.9, 0.4}} {
+		got, _, err := snap.TopN(w, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := oracle.TopN(w, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRanking(got, want) {
+			t.Fatalf("post-fold ranking diverges from rebuild for weights %v", w)
+		}
+	}
+	// The published union layering must itself be a genuine Onion.
+	if err := snap.VerifyOrdering([][]float64{{1, 0, 0}, {0.5, -0.5, 1}, {0.3, 0.3, 0.4}}, 1e-9); err != nil {
+		t.Fatalf("union layering violates the onion property: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/hierarchy"
 	"repro/internal/shells"
 	"repro/internal/storage"
 )
@@ -79,6 +80,20 @@ type Options struct {
 	// membership, layer order, and joggle decisions never depend on the
 	// worker count.
 	Parallelism int
+	// HierarchicalCompaction attaches a per-cluster compactor (the
+	// paper's Section 4 hierarchy applied to the write path) after the
+	// build: the corpus is partitioned by k-means and every Compact /
+	// CompactedClone re-peels only the clusters whose membership
+	// changed, so fold cost is bounded by delta and cluster size
+	// instead of corpus size. Query answers are bit-identical either
+	// way. Legacy structural maintenance (Insert/Delete/Update and the
+	// batch cascades) detaches the compactor; it is an acceleration
+	// structure, never load-bearing for correctness.
+	HierarchicalCompaction bool
+	// CompactionClusters overrides the k-means cluster count used by
+	// HierarchicalCompaction (0 = a heuristic targeting ~4096 records
+	// per cluster, capped at 256).
+	CompactionClusters int
 }
 
 // Index is an Onion index over a set of records. Queries
@@ -101,15 +116,26 @@ type Index struct {
 // by far the most expensive operation — the paper's intended trade:
 // build rarely, query fast.
 func Build(records []Record, opt Options) (*Index, error) {
-	ix, err := core.Build(records, core.Options{
+	copt := core.Options{
 		Tol:         opt.Tol,
 		MaxLayers:   opt.MaxLayers,
 		Seed:        opt.Seed,
 		Progress:    opt.Progress,
 		Parallelism: opt.Parallelism,
-	})
+	}
+	ix, err := core.Build(records, copt)
 	if err != nil {
 		return nil, err
+	}
+	if opt.HierarchicalCompaction {
+		copt.Progress = nil // per-cluster peels are small; no progress spam
+		if _, err := hierarchy.Attach(ix, hierarchy.CompactorOptions{
+			Clusters: opt.CompactionClusters,
+			Build:    copt,
+			Seed:     opt.Seed,
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return &Index{ix: ix}, nil
 }
@@ -320,6 +346,20 @@ func (x *Index) Accelerate() {
 
 // Accelerated reports whether shell acceleration is active.
 func (x *Index) Accelerated() bool { return x.shellIx != nil }
+
+// EnableHierarchicalCompaction attaches a per-cluster compactor to an
+// already-built index (the Options.HierarchicalCompaction knob, after
+// the fact — useful for indexes obtained via Load or Clone). clusters
+// is the k-means partition size; 0 picks a heuristic. It refuses an
+// index with pending delta mutations: Compact first, then attach.
+func (x *Index) EnableHierarchicalCompaction(clusters int) error {
+	_, err := hierarchy.Attach(x.ix, hierarchy.CompactorOptions{Clusters: clusters})
+	return err
+}
+
+// HierarchicalCompaction reports whether a per-cluster compactor is
+// currently attached (legacy structural maintenance detaches it).
+func (x *Index) HierarchicalCompaction() bool { return x.ix.ClusterCompactor() != nil }
 
 // Save writes the index to path in the paged flat-file layout of the
 // paper (Section 3.1): each layer in consecutive 4 KB pages, plus a

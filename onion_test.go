@@ -328,3 +328,60 @@ func TestMaintenanceThroughFacade(t *testing.T) {
 		t.Errorf("top after maintenance: %+v", top[0])
 	}
 }
+
+func TestHierarchicalCompactionFacade(t *testing.T) {
+	recs, pts := testRecords(workload.Gaussian, 1500, 3, 6)
+	hx, err := Build(recs, Options{HierarchicalCompaction: true, CompactionClusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hx.HierarchicalCompaction() {
+		t.Fatal("Build with HierarchicalCompaction did not attach a compactor")
+	}
+	// Attached or not, queries answer identically.
+	px, err := Build(recs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range [][]float64{{1, 1, 1}, {0.6, -0.2, 0.4}} {
+		got, err := hx.TopN(w, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := px.TopN(w, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d results, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+				t.Fatalf("rank %d: (%d, %v) vs plain (%d, %v)", i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+			}
+		}
+		bf := oracle(pts, w, 25)
+		for i := range got {
+			if diff := got[i].Score - bf[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("rank %d score %v, brute force %v", i, got[i].Score, bf[i])
+			}
+		}
+	}
+	// Legacy structural maintenance detaches the accelerator...
+	if err := hx.Insert(Record{ID: 9001, Vector: []float64{3, 3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if hx.HierarchicalCompaction() {
+		t.Fatal("compactor survived a legacy Insert")
+	}
+	// ...and EnableHierarchicalCompaction restores it after the fact.
+	if err := hx.EnableHierarchicalCompaction(3); err != nil {
+		t.Fatal(err)
+	}
+	if !hx.HierarchicalCompaction() {
+		t.Fatal("EnableHierarchicalCompaction did not attach")
+	}
+	if _, ok := hx.LayerOf(9001); !ok {
+		t.Fatal("inserted record missing after re-attach")
+	}
+}

@@ -26,6 +26,19 @@ go vet ./...
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
 
+# Coverage floor for the index kernel and the hierarchical compactor.
+# 86.2% is the combined statement coverage of internal/core +
+# internal/hierarchy as of the compaction PR; new code in these two
+# packages must arrive with tests that keep the combined figure at or
+# above it.
+echo "== coverage gate: internal/core + internal/hierarchy (floor 86.2%)"
+cover_out="$(mktemp)"
+go test -coverprofile="$cover_out" ./internal/core ./internal/hierarchy
+total="$(go tool cover -func="$cover_out" | tail -1 | awk '{print $NF}' | tr -d '%')"
+rm -f "$cover_out"
+echo "combined coverage: ${total}%"
+awk -v t="$total" 'BEGIN { if (t+0 < 86.2) { print "coverage gate: " t "% is below the 86.2% floor" > "/dev/stderr"; exit 1 } }'
+
 # Replica divergence under fault injection, raced: a replica that
 # misses an acked write must vanish from the read rotation until a
 # resync replays its backlog, and the merge must stay exact throughout.
@@ -45,6 +58,8 @@ echo "== fuzz: FuzzWALReplay (5s)"
 go test -run='^$' -fuzz=FuzzWALReplay -fuzztime=5s ./internal/wal
 echo "== fuzz: FuzzTopNWeights (5s)"
 go test -run='^$' -fuzz=FuzzTopNWeights -fuzztime=5s ./internal/core
+echo "== fuzz: FuzzHierarchyPersistRoundTrip (5s)"
+go test -run='^$' -fuzz=FuzzHierarchyPersistRoundTrip -fuzztime=5s ./internal/hierarchy
 
 # Parallel-build determinism smoke: a small -build-scaling sweep exits
 # non-zero if any worker count produces a different layer partition
@@ -97,5 +112,16 @@ echo "== mixed read/write workload smoke (onionbench -mixed-workload)"
 mixed_out="$(mktemp)"
 go run ./cmd/onionbench -mixed-workload -n 5000 -mixed-dur 4s -mixed-rate 0 -mixed-out "$mixed_out"
 rm -f "$mixed_out"
+
+# Hierarchical compaction smoke: a 10k-point -compaction-scaling run
+# folds identical mixed delta batches through a flat and a hierarchical
+# twin and gates every publish (pre- and post-fold) on bit-identical
+# rankings versus both the flat twin and a brute-force total order,
+# plus content-fingerprint equality. Exits non-zero on any divergence.
+# The committed BENCH_compact.json is the full multi-size sweep.
+echo "== hierarchical compaction equivalence smoke (onionbench -compaction-scaling)"
+compact_out="$(mktemp)"
+go run ./cmd/onionbench -compaction-scaling -n 10000 -compaction-deltas 64,512 -compaction-rounds 1 -compaction-out "$compact_out"
+rm -f "$compact_out"
 
 echo "CI OK"
