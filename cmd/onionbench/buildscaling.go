@@ -51,7 +51,9 @@ type buildScalingSummary struct {
 	IdenticalOutput bool              `json:"identical_output"`
 }
 
-func parseWorkerList(s string) ([]int, error) {
+// parseIntList parses a comma-separated list of positive integers,
+// dropping duplicates while preserving order.
+func parseIntList(s string) ([]int, error) {
 	var out []int
 	seen := map[int]bool{}
 	for _, part := range strings.Split(s, ",") {
@@ -61,7 +63,7 @@ func parseWorkerList(s string) ([]int, error) {
 		}
 		w, err := strconv.Atoi(part)
 		if err != nil || w < 1 {
-			return nil, fmt.Errorf("bad worker count %q (want positive integers)", part)
+			return nil, fmt.Errorf("bad count %q (want positive integers)", part)
 		}
 		if !seen[w] {
 			seen[w] = true
@@ -69,11 +71,24 @@ func parseWorkerList(s string) ([]int, error) {
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("empty worker list")
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseWorkerList(s string) ([]int, error) {
+	out, err := parseIntList(s)
+	if err != nil {
+		return nil, err
 	}
 	// The sweep's speedups are reported relative to 1 worker; make sure
 	// the baseline is part of the sweep (first, so it anchors the table).
-	if !seen[1] {
+	if out[0] != 1 {
+		for _, w := range out[1:] {
+			if w == 1 {
+				return out, nil
+			}
+		}
 		out = append([]int{1}, out...)
 	}
 	return out, nil

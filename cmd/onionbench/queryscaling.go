@@ -22,14 +22,22 @@ import (
 //	legacy          per-record []float64 walk, no slabs, no pruning
 //	columnar        contiguous layer slabs, strided kernels, no pruning
 //	columnar+prune  slabs plus the Cauchy–Schwarz/axis-box layer bound
+//	shells          + spherical-shell intra-layer pruning (paper §6):
+//	                slabs bucket-ordered around each layer centroid,
+//	                angular buckets skipped by score bound
 //	batch=K         TopNBatch, K queries fused per slab pass
+//	shells+batch=K  the fused pass with shell pruning per query
 //
 // Before any timing, every (corpus × worker count) combination is
-// cross-checked: legacy, columnar (pruned and unpruned) and the batch
-// driver must return bit-identical results (IDs, score bits, layers,
-// order), and the legacy reference itself is checked against a
-// brute-force scan. Any mismatch exits non-zero — scripts/ci.sh runs a
-// small sweep as a regression gate on exactly this property.
+// cross-checked: legacy, columnar (pruned and unpruned), shells (solo
+// and batched) and the batch driver must return bit-identical results
+// (IDs, score bits, layers, order), and the legacy reference itself is
+// checked against a brute-force scan. Shells are additionally checked
+// with an active delta buffer — insert-only (shell tables live) and
+// with tombstones (the shell path must stand down for deadMax) — so
+// the §6 structure composes with the LSM write path. Any mismatch
+// exits non-zero — scripts/ci.sh runs a small sweep as a regression
+// gate on exactly this property.
 //
 // The summary lands in -query-out (BENCH_query.json) next to
 // BENCH_build.json and BENCH_server.json. The headline block is the
@@ -50,6 +58,7 @@ type queryScalingRun struct {
 	QueriesPerSec    float64 `json:"queries_per_sec"`
 	RecordsEvaluated float64 `json:"records_evaluated_avg"`
 	LayersPruned     float64 `json:"layers_pruned_avg,omitempty"`
+	RecordsSkipped   float64 `json:"records_skipped_by_shells_avg,omitempty"`
 	SpeedupVsLegacy  float64 `json:"speedup_vs_legacy,omitempty"`
 }
 
@@ -62,7 +71,12 @@ type queryHeadline struct {
 	Workers                 int     `json:"workers"`
 	SpeedupColumnarVsLegacy float64 `json:"speedup_columnar_vs_legacy"`
 	SpeedupPrunedVsLegacy   float64 `json:"speedup_pruned_vs_legacy"`
+	SpeedupShellsVsLegacy   float64 `json:"speedup_shells_vs_legacy"`
 	SpeedupBatchVsLegacy    float64 `json:"speedup_batch_vs_legacy"`
+	// RecordsCutShellsVsPrune is the §6 acceptance ratio: average
+	// records evaluated by columnar+prune divided by the shells mode's,
+	// same corpus / top-N / workers as the headline speedups.
+	RecordsCutShellsVsPrune float64 `json:"records_cut_shells_vs_prune"`
 }
 
 // queryScalingSummary is the BENCH_query.json schema.
@@ -84,12 +98,15 @@ type queryScalingSummary struct {
 
 // queryScaling sweeps dims × corpus sizes × top-N × worker counts over
 // the scoring paths, gating on cross-path equivalence first.
-func queryScaling(n, queries int, workerList, outPath string) {
+func queryScaling(n, queries int, workerList, topNList, outPath string) {
 	workers, err := parseWorkerList(workerList)
 	if err != nil {
 		fatal(err)
 	}
-	topNs := []int{10, 100}
+	topNs, err := parseIntList(topNList)
+	if err != nil {
+		fatal(fmt.Errorf("-query-topns: %w", err))
+	}
 	batchSizes := []int{8, 32}
 	if queries < 1 {
 		queries = 1
@@ -158,7 +175,7 @@ func queryScaling(n, queries int, workerList, outPath string) {
 				fatal(fmt.Errorf("%dD n=%d top-%d: %w", spec.dim, spec.n, topn, err))
 			}
 		}
-		fmt.Printf("  equivalence: columnar ≡ legacy ≡ batch ≡ brute force at workers %v\n", workers)
+		fmt.Printf("  equivalence: columnar ≡ legacy ≡ batch ≡ shells ≡ brute force at workers %v (delta on/off)\n", workers)
 
 		fmt.Printf("  %5s %8s | %-15s | %12s | %10s | %8s\n",
 			"topn", "workers", "mode", "ns/query", "records", "speedup")
@@ -168,8 +185,8 @@ func queryScaling(n, queries int, workerList, outPath string) {
 
 				ix.DropSlabs()
 				ix.SetLayerPruning(false)
-				legacyNs, recAvg, _ := measureSolo(ix, ws, topn)
-				report := func(mode string, batch int, ns, rec, pruned float64) {
+				legacyNs, recAvg, _, _ := measureSolo(ix, ws, topn)
+				report := func(mode string, batch int, ns, rec, pruned, skipped float64) {
 					run := queryScalingRun{
 						Dim: spec.dim, N: spec.n, Layers: ix.NumLayers(),
 						TopN: topn, Mode: mode, Workers: w, Batch: batch,
@@ -177,6 +194,7 @@ func queryScaling(n, queries int, workerList, outPath string) {
 						QueriesPerSec:    1e9 / ns,
 						RecordsEvaluated: rec,
 						LayersPruned:     pruned,
+						RecordsSkipped:   skipped,
 					}
 					if mode != "legacy" {
 						run.SpeedupVsLegacy = legacyNs / ns
@@ -189,20 +207,31 @@ func queryScaling(n, queries int, workerList, outPath string) {
 					fmt.Printf("  %5d %8d | %-15s | %12.0f | %10.1f | %s\n",
 						topn, w, mode, ns, rec, sp)
 				}
-				report("legacy", 0, legacyNs, recAvg, 0)
+				report("legacy", 0, legacyNs, recAvg, 0, 0)
 
 				ix.BuildSlabs()
-				colNs, colRec, _ := measureSolo(ix, ws, topn)
-				report("columnar", 0, colNs, colRec, 0)
+				colNs, colRec, _, _ := measureSolo(ix, ws, topn)
+				report("columnar", 0, colNs, colRec, 0, 0)
 
 				ix.SetLayerPruning(true)
-				prNs, prRec, prPruned := measureSolo(ix, ws, topn)
-				report("columnar+prune", 0, prNs, prRec, prPruned)
+				prNs, prRec, prPruned, _ := measureSolo(ix, ws, topn)
+				report("columnar+prune", 0, prNs, prRec, prPruned, 0)
+
+				ix.SetShellPruning(true)
+				shNs, shRec, shPruned, shSkipped := measureSolo(ix, ws, topn)
+				report("shells", 0, shNs, shRec, shPruned, shSkipped)
+				ix.SetShellPruning(false)
 
 				for _, bs := range batchSizes {
 					bNs := measureBatch(ix, ws, topn, bs)
-					report(fmt.Sprintf("batch=%d", bs), bs, bNs, prRec, prPruned)
+					report(fmt.Sprintf("batch=%d", bs), bs, bNs, prRec, prPruned, 0)
 				}
+				ix.SetShellPruning(true)
+				for _, bs := range batchSizes {
+					bNs := measureBatch(ix, ws, topn, bs)
+					report(fmt.Sprintf("shells+batch=%d", bs), bs, bNs, shRec, shPruned, shSkipped)
+				}
+				ix.SetShellPruning(false)
 			}
 		}
 		// Leave the index in the shipped configuration (harmless here,
@@ -214,9 +243,10 @@ func queryScaling(n, queries int, workerList, outPath string) {
 
 	summary.Headline = pickHeadline(summary.Runs)
 	if h := summary.Headline; h != nil {
-		fmt.Printf("headline (%dD, n=%d, top-%d, %d worker(s), %d CPU(s)): columnar %.2fx, +prune %.2fx, batch %.2fx vs legacy\n",
+		fmt.Printf("headline (%dD, n=%d, top-%d, %d worker(s), %d CPU(s)): columnar %.2fx, +prune %.2fx, shells %.2fx, batch %.2fx vs legacy; shells cut records %.2fx vs +prune\n",
 			h.Dim, h.N, h.TopN, h.Workers, summary.NumCPU,
-			h.SpeedupColumnarVsLegacy, h.SpeedupPrunedVsLegacy, h.SpeedupBatchVsLegacy)
+			h.SpeedupColumnarVsLegacy, h.SpeedupPrunedVsLegacy, h.SpeedupShellsVsLegacy,
+			h.SpeedupBatchVsLegacy, h.RecordsCutShellsVsPrune)
 	}
 
 	data, err := json.MarshalIndent(summary, "", "  ")
@@ -249,6 +279,7 @@ func pickHeadline(runs []queryScalingRun) *queryHeadline {
 		}
 	}
 	bestBatch := 0.0
+	prunedRec, shellsRec := 0.0, 0.0
 	for _, r := range runs {
 		if r.Dim != h.Dim || r.N != h.N || r.TopN != h.TopN || r.Workers != 1 {
 			continue
@@ -258,6 +289,10 @@ func pickHeadline(runs []queryScalingRun) *queryHeadline {
 			h.SpeedupColumnarVsLegacy = r.SpeedupVsLegacy
 		case "columnar+prune":
 			h.SpeedupPrunedVsLegacy = r.SpeedupVsLegacy
+			prunedRec = r.RecordsEvaluated
+		case "shells":
+			h.SpeedupShellsVsLegacy = r.SpeedupVsLegacy
+			shellsRec = r.RecordsEvaluated
 		default:
 			if r.Batch > 0 && r.SpeedupVsLegacy > bestBatch {
 				bestBatch = r.SpeedupVsLegacy
@@ -265,13 +300,16 @@ func pickHeadline(runs []queryScalingRun) *queryHeadline {
 		}
 	}
 	h.SpeedupBatchVsLegacy = bestBatch
+	if shellsRec > 0 {
+		h.RecordsCutShellsVsPrune = prunedRec / shellsRec
+	}
 	return h
 }
 
 // measureSolo times ix.TopN over the query set, looping whole passes
 // until enough wall-clock has elapsed for a stable ns/query. The first
 // (untimed) pass warms caches and collects stats.
-func measureSolo(ix *core.Index, ws [][]float64, topn int) (nsPerQuery, recAvg, prunedAvg float64) {
+func measureSolo(ix *core.Index, ws [][]float64, topn int) (nsPerQuery, recAvg, prunedAvg, skippedAvg float64) {
 	for _, w := range ws {
 		_, st, err := ix.TopN(w, topn)
 		if err != nil {
@@ -279,9 +317,11 @@ func measureSolo(ix *core.Index, ws [][]float64, topn int) (nsPerQuery, recAvg, 
 		}
 		recAvg += float64(st.RecordsEvaluated)
 		prunedAvg += float64(st.LayersPruned)
+		skippedAvg += float64(st.RecordsSkippedByShells)
 	}
 	recAvg /= float64(len(ws))
 	prunedAvg /= float64(len(ws))
+	skippedAvg /= float64(len(ws))
 
 	done := 0
 	start := time.Now()
@@ -293,7 +333,7 @@ func measureSolo(ix *core.Index, ws [][]float64, topn int) (nsPerQuery, recAvg, 
 		}
 		done += len(ws)
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(done), recAvg, prunedAvg
+	return float64(time.Since(start).Nanoseconds()) / float64(done), recAvg, prunedAvg, skippedAvg
 }
 
 // measureBatch times TopNBatch with the query set carved into batches
@@ -374,11 +414,35 @@ func checkQueryEquivalence(ix *core.Index, recs []core.Record, ws [][]float64, t
 				return fmt.Errorf("batch driver diverges from legacy (query %d, workers=%d)", q, w)
 			}
 		}
+		ix.SetShellPruning(true)
+		for q, wt := range ws {
+			res, _, err := ix.TopN(wt, topn)
+			if err != nil {
+				return err
+			}
+			if !sameResults(ref[q], res) {
+				return fmt.Errorf("shells diverge from legacy (query %d, workers=%d)", q, w)
+			}
+		}
+		shBatched, _, err := ix.TopNBatch(ws, topn)
+		if err != nil {
+			return err
+		}
+		for q := range ws {
+			if !sameResults(ref[q], shBatched[q]) {
+				return fmt.Errorf("shells batch driver diverges from legacy (query %d, workers=%d)", q, w)
+			}
+		}
+		ix.SetShellPruning(false)
 		for q := range legacy { // cross-worker determinism of the legacy walk itself
 			if !sameResults(ref[q], legacy[q]) {
 				return fmt.Errorf("legacy walk not deterministic across workers (query %d, workers=%d)", q, w)
 			}
 		}
+	}
+
+	if err := checkShellsDeltaEquivalence(ix, recs, ws, topn); err != nil {
+		return err
 	}
 
 	// Brute-force oracle on a sample: scores recomputed with the same
@@ -390,6 +454,92 @@ func checkQueryEquivalence(ix *core.Index, recs []core.Record, ws [][]float64, t
 	for q := 0; q < sample; q++ {
 		if err := checkBruteForce(recs, ws[q], topn, ref[q]); err != nil {
 			return fmt.Errorf("query %d: %w", q, err)
+		}
+	}
+	return nil
+}
+
+// checkShellsDeltaEquivalence asserts the §6 shell path composes with
+// the LSM write path: on a shallow clone carrying an active delta
+// buffer, shells on and off must return bit-identical merged rankings,
+// and the shells-off reference must match a brute-force scan of the
+// merged record set. Two delta shapes are exercised — insert-only
+// (shell tables stay live alongside the merge stream) and mixed
+// inserts + tombstones (the shell path must stand down so deadMax
+// still covers every base record).
+func checkShellsDeltaEquivalence(ix *core.Index, recs []core.Record, ws [][]float64, topn int) error {
+	dim := len(recs[0].Vector)
+	ix.BuildSlabs()
+	ix.SetLayerPruning(true)
+	extraPts := workload.Points(workload.Gaussian, 48, dim, *seedFlag+303)
+	extra := make([]core.Record, len(extraPts))
+	for i, p := range extraPts {
+		extra[i] = core.Record{ID: uint64(len(recs) + 1 + i), Vector: p}
+	}
+	var dels []uint64
+	for i := 0; i < len(recs) && len(dels) < 16; i += 1 + len(recs)/17 {
+		dels = append(dels, recs[i].ID)
+	}
+	for _, shape := range []struct {
+		name string
+		dels []uint64
+	}{
+		{"insert-only", nil},
+		{"mixed", dels},
+	} {
+		dc := ix.CloneDelta()
+		if err := dc.InsertDelta(extra); err != nil {
+			return fmt.Errorf("delta %s: %w", shape.name, err)
+		}
+		if len(shape.dels) > 0 {
+			if _, err := dc.DeleteDelta(shape.dels, false); err != nil {
+				return fmt.Errorf("delta %s: %w", shape.name, err)
+			}
+		}
+		dc.SetShellPruning(false)
+		off := make([][]core.Result, len(ws))
+		for q, wt := range ws {
+			res, _, err := dc.TopN(wt, topn)
+			if err != nil {
+				return err
+			}
+			off[q] = res
+		}
+		dc.SetShellPruning(true)
+		for q, wt := range ws {
+			res, _, err := dc.TopN(wt, topn)
+			if err != nil {
+				return err
+			}
+			if !sameResults(off[q], res) {
+				return fmt.Errorf("delta %s: shells diverge from shells-off (query %d)", shape.name, q)
+			}
+		}
+		batched, _, err := dc.TopNBatch(ws, topn)
+		if err != nil {
+			return err
+		}
+		for q := range ws {
+			if !sameResults(off[q], batched[q]) {
+				return fmt.Errorf("delta %s: shells batch driver diverges (query %d)", shape.name, q)
+			}
+		}
+		// Brute-force oracle over the merged record set, on a sample.
+		dead := make(map[uint64]bool, len(shape.dels))
+		for _, id := range shape.dels {
+			dead[id] = true
+		}
+		merged := make([]core.Record, 0, len(recs)+len(extra))
+		for _, r := range recs {
+			if !dead[r.ID] {
+				merged = append(merged, r)
+			}
+		}
+		merged = append(merged, extra...)
+		for q := 0; q < len(ws) && q < 4; q++ {
+			if err := checkBruteForce(merged, ws[q], topn, off[q]); err != nil {
+				return fmt.Errorf("delta %s query %d: %w", shape.name, q, err)
+			}
 		}
 	}
 	return nil

@@ -77,7 +77,17 @@ func (ix *Index) TopNBatch(weightsList [][]float64, n int) ([][]Result, []Stats,
 			if len(group) > 0 {
 				layer := ix.layers[k]
 				sl := ix.slab(k)
-				if sl != nil && len(group) > 1 {
+				switch {
+				case ix.shellTab(k) != nil:
+					// Shell mode: fused bucket-run evaluation with
+					// per-searcher bounds (shellslab.go). Batch queries
+					// always have remain > 0, so the shell path is sound.
+					ss := make([]*Searcher, len(group))
+					for gi, r := range group {
+						ss[gi] = r.s
+					}
+					ix.consumeLayerShellsBatch(ss, k, workers)
+				case sl != nil && len(group) > 1:
 					dsts, ws = dsts[:0], ws[:0]
 					for _, r := range group {
 						dsts = append(dsts, r.s.ensureScoreBuf(len(layer)))
@@ -91,11 +101,13 @@ func (ix *Index) TopNBatch(weightsList [][]float64, n int) ([][]Result, []Stats,
 						scoreSlabBatch(dsts, sl.data, ws, 0, len(layer))
 					}
 					for gi, r := range group {
-						r.s.consumeLayer(layer, dsts[gi])
+						// sl.pos, not the layer slice: shell tables may have
+						// bucket-reordered the slab rows the scores follow.
+						r.s.consumeLayer(sl.pos, dsts[gi])
 					}
-				} else {
+				default:
 					for _, r := range group {
-						r.s.consumeLayer(layer, r.s.layerScores(layer))
+						r.s.consumeLayer(r.s.layerPositions(layer), r.s.layerScores(layer))
 					}
 				}
 			}

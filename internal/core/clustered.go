@@ -112,6 +112,12 @@ func (ix *Index) compactClustered() error {
 	}
 	next.joggled = ix.joggled
 	next.noPrune = ix.noPrune
+	next.noShells = ix.noShells
+	// Rebuild the shell tables over the folded layers: FromLayers built
+	// plain slabs, so BuildSlabs only adds the bucket ordering + bound
+	// tables when shell mode is carried over.
+	next.shellMode = ix.shellMode
+	next.BuildSlabs()
 	next.cc = cc2
 	*ix = *next
 	return nil
@@ -125,22 +131,25 @@ func (ix *Index) compactClustered() error {
 // mutability untouched.
 func (ix *Index) cloneForFold() *Index {
 	cp := &Index{
-		dim:      ix.dim,
-		pts:      ix.pts,
-		ids:      ix.ids,
-		layers:   ix.layers,
-		layerOf:  ix.layerOf,
-		posOf:    ix.posOf,
-		free:     ix.free,
-		tol:      ix.tol,
-		seed:     ix.seed,
-		workers:  ix.workers,
-		joggled:  ix.joggled,
-		slabs:    ix.slabs,
-		maxLayer: ix.maxLayer,
-		noPrune:  ix.noPrune,
-		cc:       ix.cc,
-		shared:   true,
+		dim:       ix.dim,
+		pts:       ix.pts,
+		ids:       ix.ids,
+		layers:    ix.layers,
+		layerOf:   ix.layerOf,
+		posOf:     ix.posOf,
+		free:      ix.free,
+		tol:       ix.tol,
+		seed:      ix.seed,
+		workers:   ix.workers,
+		joggled:   ix.joggled,
+		slabs:     ix.slabs,
+		maxLayer:  ix.maxLayer,
+		noPrune:   ix.noPrune,
+		noShells:  ix.noShells,
+		shellMode: ix.shellMode,
+		shellTabs: ix.shellTabs,
+		cc:        ix.cc,
+		shared:    true,
 	}
 	if ix.delta != nil {
 		cp.delta = ix.delta.clone()

@@ -243,22 +243,25 @@ func (ix *Index) UpdateDelta(id uint64, vector []float64) error {
 // CompactedClone.
 func (ix *Index) CloneDelta() *Index {
 	cp := &Index{
-		dim:      ix.dim,
-		pts:      ix.pts,
-		ids:      ix.ids,
-		layers:   ix.layers,
-		layerOf:  ix.layerOf,
-		posOf:    ix.posOf,
-		free:     ix.free,
-		tol:      ix.tol,
-		seed:     ix.seed,
-		workers:  ix.workers,
-		joggled:  ix.joggled,
-		slabs:    ix.slabs,
-		maxLayer: ix.maxLayer,
-		noPrune:  ix.noPrune,
-		cc:       ix.cc,
-		shared:   true,
+		dim:       ix.dim,
+		pts:       ix.pts,
+		ids:       ix.ids,
+		layers:    ix.layers,
+		layerOf:   ix.layerOf,
+		posOf:     ix.posOf,
+		free:      ix.free,
+		tol:       ix.tol,
+		seed:      ix.seed,
+		workers:   ix.workers,
+		joggled:   ix.joggled,
+		slabs:     ix.slabs,
+		maxLayer:  ix.maxLayer,
+		noPrune:   ix.noPrune,
+		noShells:  ix.noShells,
+		shellMode: ix.shellMode,
+		shellTabs: ix.shellTabs,
+		cc:        ix.cc,
+		shared:    true,
 	}
 	ix.shared = true
 	if ix.delta != nil {

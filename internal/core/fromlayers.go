@@ -17,11 +17,12 @@ func Empty(dim int, opt Options) (*Index, error) {
 		return nil, errors.New("core: dimension must be positive")
 	}
 	return &Index{
-		dim:     dim,
-		posOf:   make(map[uint64]int),
-		tol:     opt.Tol,
-		seed:    opt.Seed,
-		workers: opt.Parallelism,
+		dim:       dim,
+		posOf:     make(map[uint64]int),
+		tol:       opt.Tol,
+		seed:      opt.Seed,
+		workers:   opt.Parallelism,
+		shellMode: opt.Shells,
 	}, nil
 }
 
@@ -48,14 +49,15 @@ func FromLayers(layers [][]Record, opt Options) (*Index, error) {
 		return nil, errors.New("core: zero-dimensional record")
 	}
 	ix := &Index{
-		dim:     dim,
-		pts:     make([][]float64, 0, total),
-		ids:     make([]uint64, 0, total),
-		layerOf: make([]int, 0, total),
-		posOf:   make(map[uint64]int, total),
-		tol:     opt.Tol,
-		seed:    opt.Seed,
-		workers: opt.Parallelism,
+		dim:       dim,
+		pts:       make([][]float64, 0, total),
+		ids:       make([]uint64, 0, total),
+		layerOf:   make([]int, 0, total),
+		posOf:     make(map[uint64]int, total),
+		tol:       opt.Tol,
+		seed:      opt.Seed,
+		workers:   opt.Parallelism,
+		shellMode: opt.Shells,
 	}
 	slabs := make([]layerSlab, 0, len(layers))
 	maxLayer := 0
@@ -92,6 +94,12 @@ func FromLayers(layers [][]Record, opt Options) (*Index, error) {
 	}
 	ix.slabs = slabs
 	ix.maxLayer = maxLayer
+	if ix.shellMode {
+		// Bucket-order the slabs and build the shell tables. The reorder
+		// allocates fresh slab arrays, so the pts sub-slices keep viewing
+		// the original per-layer arenas in storage order.
+		ix.buildShellTables()
+	}
 	return ix, nil
 }
 

@@ -55,6 +55,13 @@ type Options struct {
 	// replays (e.g. the serving layer's clone-and-reapply) stay valid
 	// whatever the hardware. See SetParallelism to adjust it later.
 	Parallelism int
+	// Shells enables the paper's Section 6 spherical-shell intra-layer
+	// pruning as a first-class index mode (see shellslab.go): columnar
+	// slabs are ordered by angular bucket around each layer's centroid
+	// and queries evaluate only the buckets whose score bound can still
+	// matter. Results are bit-identical with shells on or off; only the
+	// work statistics change. See SetShellPruning to toggle it later.
+	Shells bool
 }
 
 // Index is an immutable-by-default Onion index. Maintenance methods
@@ -79,6 +86,13 @@ type Index struct {
 	slabs    []layerSlab
 	maxLayer int  // size of the largest layer when slabs are present
 	noPrune  bool // disables bound-based layer pruning (benchmarks/ablation)
+	noShells bool // disables shell (intra-layer) pruning only
+
+	// Spherical-shell tables (see shellslab.go). Derived, immutable
+	// state like the slabs: built alongside them when shellMode is on,
+	// shared by clones, dropped whenever the slabs drop.
+	shellMode bool
+	shellTabs []shellTable
 
 	// Incremental write path (see delta.go): pending unlayered
 	// mutations merged into every query, and the shared-base marker
@@ -104,14 +118,15 @@ func Build(records []Record, opt Options) (*Index, error) {
 		return nil, errors.New("core: zero-dimensional records")
 	}
 	ix := &Index{
-		dim:     dim,
-		pts:     make([][]float64, len(records)),
-		ids:     make([]uint64, len(records)),
-		layerOf: make([]int, len(records)),
-		posOf:   make(map[uint64]int, len(records)),
-		tol:     opt.Tol,
-		seed:    opt.Seed,
-		workers: opt.Parallelism,
+		dim:       dim,
+		pts:       make([][]float64, len(records)),
+		ids:       make([]uint64, len(records)),
+		layerOf:   make([]int, len(records)),
+		posOf:     make(map[uint64]int, len(records)),
+		tol:       opt.Tol,
+		seed:      opt.Seed,
+		workers:   opt.Parallelism,
+		shellMode: opt.Shells,
 	}
 	for i, r := range records {
 		if len(r.Vector) != dim {
@@ -173,17 +188,120 @@ func Build(records []Record, opt Options) (*Index, error) {
 	return ix, nil
 }
 
-// SetLayerPruning toggles the bound-based layer pruning of the columnar
-// query path (Searcher.tryPrune). Pruning preserves results exactly,
-// but it changes the work statistics (RecordsEvaluated, LayersAccessed)
-// a query reports; benchmarks reproducing the paper's Table 1 turn it
-// off so the counts match the paper's unpruned evaluation procedure.
-// Not safe to call concurrently with running queries.
-func (ix *Index) SetLayerPruning(on bool) { ix.noPrune = !on }
+// PruningMode selects how much bound-based work-skipping the query path
+// performs. Every mode returns bit-identical results; they differ only
+// in the work statistics a query reports, which is why the
+// paper-faithful benchmarks pick the weaker modes. The zero value is
+// full pruning, so a fresh index defaults to the fastest sound path.
+type PruningMode int
+
+const (
+	// PruneAll enables layer pruning (tryPrune) and, when the index was
+	// built or configured with shell tables, spherical-shell intra-layer
+	// pruning too. The default.
+	PruneAll PruningMode = iota
+	// PruneLayersOnly keeps layer pruning but disables shell pruning —
+	// the ablation that isolates the shells' contribution.
+	PruneLayersOnly
+	// PruneNothing is the paper-faithful full evaluation: every record
+	// of every accessed layer is scored (the Table 1 accounting).
+	PruneNothing
+)
+
+// String names the mode (flag/JSON friendly: all, layers, none).
+func (m PruningMode) String() string {
+	switch m {
+	case PruneAll:
+		return "all"
+	case PruneLayersOnly:
+		return "layers"
+	case PruneNothing:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePruningMode parses the String form.
+func ParsePruningMode(s string) (PruningMode, error) {
+	switch s {
+	case "all", "":
+		return PruneAll, nil
+	case "layers":
+		return PruneLayersOnly, nil
+	case "none":
+		return PruneNothing, nil
+	default:
+		return 0, fmt.Errorf("core: unknown pruning mode %q (want all, layers, or none)", s)
+	}
+}
+
+// SetPruningMode selects the bound-based pruning behavior of the query
+// path. Results are identical in every mode; shell pruning additionally
+// requires the shell tables to be present (Options.Shells or
+// SetShellPruning). Not safe to call concurrently with running queries.
+func (ix *Index) SetPruningMode(m PruningMode) {
+	switch m {
+	case PruneLayersOnly:
+		ix.noPrune, ix.noShells = false, true
+	case PruneNothing:
+		ix.noPrune, ix.noShells = true, true
+	default:
+		ix.noPrune, ix.noShells = false, false
+	}
+}
+
+// PruningMode reports the current pruning mode (whether each kind of
+// pruning takes effect still depends on the slabs / shell tables being
+// present).
+func (ix *Index) PruningMode() PruningMode {
+	switch {
+	case ix.noPrune:
+		return PruneNothing
+	case ix.noShells:
+		return PruneLayersOnly
+	default:
+		return PruneAll
+	}
+}
+
+// SetLayerPruning is the historical on/off switch, kept as a shim over
+// SetPruningMode: off means no bound-based skipping at all (layer OR
+// shell — a caller asking for the paper-faithful full evaluation must
+// not get partial layers), on restores full pruning.
+func (ix *Index) SetLayerPruning(on bool) {
+	if on {
+		ix.SetPruningMode(PruneAll)
+	} else {
+		ix.SetPruningMode(PruneNothing)
+	}
+}
 
 // LayerPruning reports whether bound-based layer pruning is enabled
 // (it still requires the columnar slabs to be present to take effect).
 func (ix *Index) LayerPruning() bool { return !ix.noPrune }
+
+// SetShellPruning enables or disables the spherical-shell index mode at
+// runtime: on builds the shell tables (bucket-ordering the slabs) if
+// the columnar layout is present, off drops the tables. The slab row
+// order is part of the derived state either way — queries never depend
+// on it — so toggling is cheap and safe between queries, but not
+// concurrently with them.
+func (ix *Index) SetShellPruning(on bool) {
+	ix.shellMode = on
+	if !on {
+		ix.shellTabs = nil
+		return
+	}
+	if ix.slabs != nil && ix.shellTabs == nil {
+		ix.buildShellTables()
+	}
+}
+
+// ShellPruning reports whether the shell index mode is enabled (the
+// tables may still be absent until BuildSlabs runs, and shell pruning
+// only takes effect in PruneAll mode).
+func (ix *Index) ShellPruning() bool { return ix.shellMode }
 
 func (ix *Index) appendLayer(positions []int) {
 	k := len(ix.layers)

@@ -31,6 +31,14 @@ type Stats struct {
 	// score bound, that layer and every deeper one are provably unable
 	// to contribute and the walk stops without scoring them.
 	LayersPruned int
+	// RecordsSkippedByShells counts records of accessed layers that the
+	// spherical-shell tables (shellslab.go) proved unable to enter the
+	// layer's top-keep, so they were never scored. RecordsEvaluated
+	// excludes them: evaluated + skipped = the accessed layers' sizes.
+	RecordsSkippedByShells int
+	// ShellLayers counts the accessed layers that were evaluated through
+	// their shell table (whether or not any bucket was actually skipped).
+	ShellLayers int
 }
 
 var errDim = errors.New("core: weight vector dimension mismatch")
@@ -130,6 +138,7 @@ type Searcher struct {
 	scoreBuf []float64     // scratch for layer scoring, reused per layer
 	best     *topk.Bounded // reusable per-layer top-k collector
 	rankBuf  []topk.Item   // reusable sorted-layer scratch
+	shellOrd []shellRef    // reusable shell bucket schedule scratch
 	stats    Stats
 	trace    func(TraceEvent) // optional step-by-step narration
 	ctx      context.Context  // optional cancellation; nil = never cancelled
@@ -312,9 +321,29 @@ func (s *Searcher) advance() bool {
 		return s.drainCandidates()
 	}
 	layer := ix.layers[s.k]
+	if s.remain > 0 {
+		// Shell evaluation needs a bounded keep so the collector can fill
+		// and its threshold become a pruning floor; unbounded searches
+		// keep every record anyway, so the full scan is already optimal.
+		if t := ix.shellTab(s.k); t != nil {
+			s.consumeLayerShells(len(layer), ix.slab(s.k), t)
+			return true
+		}
+	}
 	scores := s.layerScores(layer)
-	s.consumeLayer(layer, scores)
+	s.consumeLayer(s.layerPositions(layer), scores)
 	return true
+}
+
+// layerPositions returns the position list parallel to layerScores'
+// output for the current layer: the slab's pos array when a slab exists
+// (its rows may be bucket-reordered relative to the layer slice by the
+// shell tables), the layer slice itself otherwise.
+func (s *Searcher) layerPositions(layer []int) []int {
+	if sl := s.ix.slab(s.k); sl != nil {
+		return sl.pos
+	}
+	return layer
 }
 
 // drainCandidates finalizes pending candidates once no deeper layer can
@@ -353,14 +382,7 @@ func (s *Searcher) tryPrune() bool {
 	if s.cand.Len() < s.remain {
 		return false
 	}
-	if !s.wnormSet {
-		var sq float64
-		for _, w := range s.weights {
-			sq += w * w
-		}
-		s.wnorm = math.Sqrt(sq)
-		s.wnormSet = true
-	}
+	s.ensureWNorm()
 	bound := ix.slabs[s.k].scoreBound(s.weights, s.wnorm)
 	beat := 0
 	for _, it := range s.cand.Items() {
@@ -379,6 +401,20 @@ func (s *Searcher) tryPrune() bool {
 	s.stats.LayersPruned += pruned
 	s.k = len(ix.layers)
 	return true
+}
+
+// ensureWNorm computes ‖weights‖ once per searcher; both the layer
+// bound (tryPrune) and the shell bucket bounds need it.
+func (s *Searcher) ensureWNorm() {
+	if s.wnormSet {
+		return
+	}
+	var sq float64
+	for _, w := range s.weights {
+		sq += w * w
+	}
+	s.wnorm = math.Sqrt(sq)
+	s.wnormSet = true
 }
 
 // ensureScoreBuf guarantees scratch for n scores, sized once at the
@@ -443,20 +479,16 @@ func (s *Searcher) layerScores(layer []int) []float64 {
 	return scores
 }
 
-// consumeLayer folds one scored layer into the searcher's state: the
-// per-layer buffer keeps the best min(remaining, |layer|) records
-// (anything weaker can never reach the final top-N because enough
-// stronger records exist in this very layer; unbounded searches keep
-// the whole layer), outer candidates beating the layer maximum are
-// finalized, and the rest become candidates. scores[i] must be the
-// score of layer[i].
-func (s *Searcher) consumeLayer(layer []int, scores []float64) {
+// beginLayer starts a layer evaluation of n records: resets the emit
+// buffer and sizes the reusable per-layer collector to keep the best
+// min(remaining, n) records (anything weaker can never reach the final
+// top-N because enough stronger records exist in this very layer;
+// unbounded searches keep the whole layer).
+func (s *Searcher) beginLayer(n int) {
 	ix := s.ix
 	s.emit = s.emit[:0]
 	s.emitPos = 0
-	s.stats.LayersAccessed++
-	s.stats.RecordsEvaluated += len(layer)
-	keep := len(layer)
+	keep := n
 	if s.remain > 0 && s.remain < keep {
 		keep = s.remain
 	}
@@ -478,20 +510,29 @@ func (s *Searcher) consumeLayer(layer []int, scores []float64) {
 		s.rankBuf = make([]topk.Item, 0, hint)
 	}
 	s.best.ResetK(keep)
+}
+
+// consumeLayer folds one scored layer into the searcher's state: offers
+// every live record to the collector, then finalizes through
+// finishLayer. pos lists internal positions parallel to scores —
+// the slab's pos array on the columnar path (see layerPositions), where
+// shell tables may have bucket-reordered the rows.
+func (s *Searcher) consumeLayer(pos []int, scores []float64) {
+	s.beginLayer(len(pos))
 	// Tombstoned positions (delta buffer deletes, see delta.go) are
 	// excluded from the ranking but NOT from the Corollary 1 bound:
 	// deeper layers nest inside this layer's hull with the tombstoned
 	// vertices still on it, so the finalization bound must be the
 	// maximum over every record of the layer, dead or alive.
-	dead := ix.deadPosSet()
+	dead := s.ix.deadPosSet()
 	var deadMax float64
 	haveDead := false
 	if dead == nil {
-		for i, p := range layer {
+		for i, p := range pos {
 			s.best.Offer(topk.Item{ID: p, Score: scores[i]})
 		}
 	} else {
-		for i, p := range layer {
+		for i, p := range pos {
 			if dead[p] {
 				if !haveDead || scores[i] > deadMax {
 					deadMax, haveDead = scores[i], true
@@ -501,6 +542,18 @@ func (s *Searcher) consumeLayer(layer []int, scores []float64) {
 			s.best.Offer(topk.Item{ID: p, Score: scores[i]})
 		}
 	}
+	s.finishLayer(len(pos), deadMax, haveDead)
+}
+
+// finishLayer completes the current layer: accounts the work, ranks the
+// collector, finalizes outer candidates and the layer maximum under the
+// Corollary 1 bound, and turns the rest into candidates. evaluated is
+// the number of records actually scored (the whole layer on the plain
+// path; possibly fewer through shells).
+func (s *Searcher) finishLayer(evaluated int, deadMax float64, haveDead bool) {
+	ix := s.ix
+	s.stats.LayersAccessed++
+	s.stats.RecordsEvaluated += evaluated
 	s.rankBuf = s.best.DescendingInto(s.rankBuf[:0])
 	t := s.rankBuf
 	// maxT bounds every record of this and deeper layers; emitTop says
@@ -527,7 +580,7 @@ func (s *Searcher) consumeLayer(layer []int, scores []float64) {
 	if len(t) > 0 {
 		s.emitTrace(TraceEvent{
 			Kind: TraceLayerEvaluated, Layer: s.k,
-			ID: ix.ids[t[0].ID], Score: t[0].Score, Evaluated: len(layer),
+			ID: ix.ids[t[0].ID], Score: t[0].Score, Evaluated: evaluated,
 		})
 	}
 

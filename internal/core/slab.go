@@ -78,34 +78,41 @@ func newLayerSlab(data []float64, ids []uint64, pos []int, dim int) layerSlab {
 // record-walk over pts whenever slabs are absent, with identical
 // results.
 func (ix *Index) BuildSlabs() {
-	if ix.slabs != nil {
-		return
-	}
-	slabs := make([]layerSlab, len(ix.layers))
-	maxLayer := 0
-	for k, layer := range ix.layers {
-		if len(layer) > maxLayer {
-			maxLayer = len(layer)
+	if ix.slabs == nil {
+		slabs := make([]layerSlab, len(ix.layers))
+		maxLayer := 0
+		for k, layer := range ix.layers {
+			if len(layer) > maxLayer {
+				maxLayer = len(layer)
+			}
+			data := make([]float64, len(layer)*ix.dim)
+			ids := make([]uint64, len(layer))
+			pos := make([]int, len(layer))
+			for i, p := range layer {
+				copy(data[i*ix.dim:(i+1)*ix.dim], ix.pts[p])
+				ids[i] = ix.ids[p]
+				pos[i] = p
+			}
+			slabs[k] = newLayerSlab(data, ids, pos, ix.dim)
 		}
-		data := make([]float64, len(layer)*ix.dim)
-		ids := make([]uint64, len(layer))
-		pos := make([]int, len(layer))
-		for i, p := range layer {
-			copy(data[i*ix.dim:(i+1)*ix.dim], ix.pts[p])
-			ids[i] = ix.ids[p]
-			pos[i] = p
-		}
-		slabs[k] = newLayerSlab(data, ids, pos, ix.dim)
+		ix.slabs = slabs
+		ix.maxLayer = maxLayer
 	}
-	ix.slabs = slabs
-	ix.maxLayer = maxLayer
+	// Shell index mode (shellslab.go): bucket-order the freshly built
+	// slabs and derive the per-bucket bound tables alongside them.
+	if ix.shellMode && ix.shellTabs == nil {
+		ix.buildShellTables()
+	}
 }
 
 // DropSlabs discards the columnar layout (and with it bound-based layer
-// pruning), forcing queries back onto the legacy record-walk. Exists so
-// benchmarks and the CI equivalence gate can compare the two paths on
-// one index; call BuildSlabs to restore.
-func (ix *Index) DropSlabs() { ix.slabs = nil }
+// pruning and any shell tables), forcing queries back onto the legacy
+// record-walk. Exists so benchmarks and the CI equivalence gate can
+// compare the paths on one index; call BuildSlabs to restore.
+func (ix *Index) DropSlabs() {
+	ix.slabs = nil
+	ix.shellTabs = nil
+}
 
 // Columnar reports whether the columnar slabs are materialized.
 func (ix *Index) Columnar() bool { return ix.slabs != nil }
@@ -118,10 +125,13 @@ func (ix *Index) slab(k int) *layerSlab {
 	return &ix.slabs[k]
 }
 
-// invalidateSlabs drops derived columnar state on mutation. Shared
-// slabs are never written, so clones holding the same backing arrays
-// are unaffected.
-func (ix *Index) invalidateSlabs() { ix.slabs = nil }
+// invalidateSlabs drops derived columnar state (slabs and shell tables)
+// on mutation. Shared slabs are never written, so clones holding the
+// same backing arrays are unaffected.
+func (ix *Index) invalidateSlabs() {
+	ix.slabs = nil
+	ix.shellTabs = nil
+}
 
 // boundSlack returns the safety margin added to a layer's score bound
 // so that floating-point rounding can never make pruning drop a record

@@ -33,6 +33,11 @@ func (ix *Index) Clone() *Index {
 		slabs:    ix.slabs,
 		maxLayer: ix.maxLayer,
 		noPrune:  ix.noPrune,
+		noShells: ix.noShells,
+		// Shell tables are derived immutable state exactly like the
+		// slabs, and they share the slabs' lifecycle.
+		shellMode: ix.shellMode,
+		shellTabs: ix.shellTabs,
 		// The hierarchical compactor is immutable (folds return a
 		// successor), so it too is shared by reference.
 		cc: ix.cc,

@@ -30,6 +30,10 @@ const (
 	// layer, Score its (sound) score bound, and Evaluated the number of
 	// layers skipped.
 	TraceLayersPruned
+	// TraceShellsPruned fires when spherical-shell evaluation skips part
+	// of a layer: Layer is the layer, Score the bound of a skipped
+	// bucket, and Evaluated the number of records left unscored.
+	TraceShellsPruned
 )
 
 // String names the event kind.
@@ -47,6 +51,8 @@ func (k TraceKind) String() string {
 		return "drained"
 	case TraceLayersPruned:
 		return "layers-pruned"
+	case TraceShellsPruned:
+		return "shells-pruned"
 	default:
 		return "unknown"
 	}

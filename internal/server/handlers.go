@@ -82,18 +82,24 @@ type ResultJSON struct {
 	Layer int     `json:"layer"`
 }
 
-// StatsJSON mirrors core.Stats.
+// StatsJSON mirrors core.Stats. The shell counters are zero unless the
+// server runs with spherical-shell pruning (Config.Shells); evaluated
+// plus skipped always totals the accessed layers' record count.
 type StatsJSON struct {
-	RecordsEvaluated int `json:"records_evaluated"`
-	LayersAccessed   int `json:"layers_accessed"`
-	LayersPruned     int `json:"layers_pruned"`
+	RecordsEvaluated       int `json:"records_evaluated"`
+	LayersAccessed         int `json:"layers_accessed"`
+	LayersPruned           int `json:"layers_pruned"`
+	RecordsSkippedByShells int `json:"records_skipped_by_shells"`
+	ShellLayers            int `json:"shell_layers"`
 }
 
 func statsJSON(st core.Stats) StatsJSON {
 	return StatsJSON{
-		RecordsEvaluated: st.RecordsEvaluated,
-		LayersAccessed:   st.LayersAccessed,
-		LayersPruned:     st.LayersPruned,
+		RecordsEvaluated:       st.RecordsEvaluated,
+		LayersAccessed:         st.LayersAccessed,
+		LayersPruned:           st.LayersPruned,
+		RecordsSkippedByShells: st.RecordsSkippedByShells,
+		ShellLayers:            st.ShellLayers,
 	}
 }
 

@@ -28,6 +28,8 @@ type metrics struct {
 	recordsEvaluated expvar.Int // cumulative Stats.RecordsEvaluated
 	layersAccessed   expvar.Int // cumulative Stats.LayersAccessed
 	layersPruned     expvar.Int // cumulative Stats.LayersPruned (bound-based skips)
+	shellsSkipped    expvar.Int // cumulative Stats.RecordsSkippedByShells
+	shellsLayers     expvar.Int // cumulative Stats.ShellLayers (layers served via shell tables)
 	batchRequests    expvar.Int // /v1/topn/batch requests served
 	batchQueries     expvar.Int // individual queries inside those batches
 	mutationOps      expvar.Int // operations through the mutator
@@ -68,6 +70,8 @@ func newMetrics() *metrics {
 	v.Set("records_evaluated", &m.recordsEvaluated)
 	v.Set("layers_accessed", &m.layersAccessed)
 	v.Set("layers_pruned", &m.layersPruned)
+	v.Set("shells_records_skipped", &m.shellsSkipped)
+	v.Set("shells_layers", &m.shellsLayers)
 	v.Set("batch_requests", &m.batchRequests)
 	v.Set("batch_queries", &m.batchQueries)
 	v.Set("mutation_ops", &m.mutationOps)
@@ -117,6 +121,8 @@ func (m *metrics) observeQuery(st core.Stats, d time.Duration, h *telemetry.Hist
 	m.recordsEvaluated.Add(int64(st.RecordsEvaluated))
 	m.layersAccessed.Add(int64(st.LayersAccessed))
 	m.layersPruned.Add(int64(st.LayersPruned))
+	m.shellsSkipped.Add(int64(st.RecordsSkippedByShells))
+	m.shellsLayers.Add(int64(st.ShellLayers))
 	if h != nil { // batch queries time the whole batch, not each member
 		h.Observe(d)
 	}

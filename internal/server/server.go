@@ -86,6 +86,19 @@ type Config struct {
 	// pre-delta behavior, kept for comparison and for workloads that
 	// want every snapshot fully layered).
 	DeltaThreshold int
+	// Shells enables the spherical-shell index mode (paper Section 6)
+	// on the served index: each layer's columnar slab is ordered by
+	// angular bucket around the layer centroid and queries evaluate
+	// only the buckets whose score bound can still matter. Answers are
+	// bit-identical with shells on or off; the shells_* metrics report
+	// the work skipped. Snapshot publishes and background compactions
+	// keep the tables current.
+	Shells bool
+	// Pruning selects the bound-based pruning mode of the query path
+	// (core.PruneAll, PruneLayersOnly, PruneNothing). The zero value is
+	// full pruning; the weaker modes exist for paper-faithful work
+	// measurements, never for correctness.
+	Pruning core.PruningMode
 }
 
 func (c *Config) withDefaults() Config {
@@ -192,6 +205,15 @@ func New(ix *core.Index, cfg Config) *Server {
 	}
 	s.metrics.attachCache(s.cache)
 	s.metrics.attachSnapshot(func() *core.Index { return s.snap.Load() })
+	// Pruning configuration is applied once here; clones (deep, shallow
+	// and compacted alike) inherit the mode and the rebuilt structures,
+	// so every published snapshot serves with the same behavior. Shells
+	// only enables: an index handed over with shell mode already on
+	// keeps it under a zero Config.
+	ix.SetPruningMode(c.Pruning)
+	if c.Shells {
+		ix.SetShellPruning(true)
+	}
 	s.snap.Store(ix)
 	s.ready.Store(true)
 	go s.mutator()

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/shellgeom"
 	"repro/internal/topk"
 )
 
@@ -59,10 +60,15 @@ type Layer struct {
 }
 
 // Sectors2D is the number of angular sectors used in two dimensions.
-const Sectors2D = 16
+// The layout itself lives in internal/shellgeom, shared with the
+// columnar shell tables of internal/core so the two realizations stay
+// bucket-compatible.
+const Sectors2D = shellgeom.Sectors2D
 
 // BuildLayer organizes the given records (all from one Onion layer)
-// into angular buckets around their centroid.
+// into angular buckets around their centroid, using the shared
+// shellgeom layout: Sectors2D equal sectors in 2D, 2·d axis-face cones
+// of half-angle acos(1/√d) otherwise.
 func BuildLayer(recs []core.Record, dim int) *Layer {
 	l := &Layer{dim: dim, size: len(recs)}
 	if len(recs) == 0 {
@@ -75,73 +81,19 @@ func BuildLayer(recs []core.Record, dim int) *Layer {
 	}
 	geom.Scale(l.center, 1/float64(len(recs)), l.center)
 
-	if dim == 2 {
-		l.buildSectors(recs)
-	} else {
-		l.buildFaces(recs)
-	}
-	return l
-}
-
-// buildSectors buckets 2D records by their polar angle around the
-// center into Sectors2D equal sectors — the literal Figure 11 layout.
-func (l *Layer) buildSectors(recs []core.Record) {
-	n := Sectors2D
-	l.buckets = make([]bucket, n)
-	width := 2 * math.Pi / float64(n)
+	g := shellgeom.For(dim)
+	l.buckets = make([]bucket, g.NumBuckets())
 	for s := range l.buckets {
-		mid := (float64(s) + 0.5) * width // sector midline angle
-		l.buckets[s].axis = []float64{math.Cos(mid), math.Sin(mid)}
-		l.buckets[s].alpha = width / 2
+		l.buckets[s].axis = g.Axes[s]
+		l.buckets[s].alpha = g.Alpha
 	}
-	diff := make([]float64, 2)
+	diff := make([]float64, dim)
 	for _, r := range recs {
 		geom.Sub(diff, r.Vector, l.center)
-		rad := geom.Norm(diff)
-		theta := math.Atan2(diff[1], diff[0])
-		if theta < 0 {
-			theta += 2 * math.Pi
-		}
-		s := int(theta / width)
-		if s >= n {
-			s = n - 1
-		}
-		l.push(s, r, rad)
+		l.push(g.Assign(diff), r, geom.Norm(diff))
 	}
 	l.compact()
-}
-
-// buildFaces buckets records by the dominant axis of their direction
-// (the face of the enclosing cube the direction exits through): 2·d
-// cones of half-angle acos(1/sqrt(d)).
-func (l *Layer) buildFaces(recs []core.Record) {
-	d := l.dim
-	l.buckets = make([]bucket, 2*d)
-	for j := 0; j < d; j++ {
-		for s, sign := range []float64{1, -1} {
-			axis := make([]float64, d)
-			axis[j] = sign
-			l.buckets[2*j+s].axis = axis
-			l.buckets[2*j+s].alpha = math.Acos(1 / math.Sqrt(float64(d)))
-		}
-	}
-	diff := make([]float64, d)
-	for _, r := range recs {
-		geom.Sub(diff, r.Vector, l.center)
-		rad := geom.Norm(diff)
-		best, bestAbs := 0, 0.0
-		for j, v := range diff {
-			if a := math.Abs(v); a > bestAbs {
-				best, bestAbs = j, a
-			}
-		}
-		s := 2 * best
-		if diff[best] < 0 {
-			s++
-		}
-		l.push(s, r, rad)
-	}
-	l.compact()
+	return l
 }
 
 func (l *Layer) push(s int, r core.Record, rad float64) {
@@ -192,7 +144,15 @@ func (l *Layer) TopN(w []float64, n int) ([]core.Result, int) {
 		if gap < 0 {
 			gap = 0
 		}
-		order[i] = scoredBucket{b: b, bound: wc + b.rmax*wnorm*math.Cos(gap)}
+		f := math.Cos(gap)
+		if f < 0 {
+			// A cone pointing away from w: rmax only upper-bounds the
+			// member radius, and a negative factor times a larger radius
+			// is smaller, so rmax·cos(gap) would undercut small-radius
+			// members. The supremum over 0 ≤ r ≤ rmax is at r = 0.
+			f = 0
+		}
+		order[i] = scoredBucket{b: b, bound: wc + b.rmax*wnorm*f}
 	}
 	sort.Slice(order, func(a, b int) bool { return order[a].bound > order[b].bound })
 

@@ -94,6 +94,16 @@ type Options struct {
 	// HierarchicalCompaction (0 = a heuristic targeting ~4096 records
 	// per cluster, capped at 256).
 	CompactionClusters int
+	// Shells enables the paper's Section 6 spherical shells as a
+	// first-class index mode: each layer's columnar slab is ordered by
+	// angular bucket around the layer centroid and queries evaluate
+	// only the buckets whose score bound can still beat the current
+	// top-N floor. Results are bit-identical with shells on or off —
+	// only the work statistics change (see
+	// QueryStats.RecordsSkippedByShells). Maintenance and compaction
+	// keep the tables up to date; SetShellPruning toggles the mode on
+	// an existing index.
+	Shells bool
 }
 
 // Index is an Onion index over a set of records. Queries
@@ -122,6 +132,7 @@ func Build(records []Record, opt Options) (*Index, error) {
 		Seed:        opt.Seed,
 		Progress:    opt.Progress,
 		Parallelism: opt.Parallelism,
+		Shells:      opt.Shells,
 	}
 	ix, err := core.Build(records, copt)
 	if err != nil {
@@ -286,9 +297,10 @@ func (x *Index) SearchContext(ctx context.Context, weights []float64, limit int)
 // the clone never affects the original (attribute vectors, which are
 // immutable, are shared). This is the substrate for snapshot-isolated
 // serving — apply a batch of changes to a clone, then atomically swap
-// it in — as cmd/onionserve does. Shell acceleration and sorted-column
-// structures are not carried over; re-enable them on the clone if
-// needed.
+// it in — as cmd/onionserve does. The columnar shell-pruning mode
+// (Options.Shells / SetShellPruning) carries over; the legacy
+// Accelerate structure and sorted-column structures do not — re-enable
+// them on the clone if needed.
 func (x *Index) Clone() *Index {
 	return &Index{ix: x.ix.Clone()}
 }
@@ -346,6 +358,47 @@ func (x *Index) Accelerate() {
 
 // Accelerated reports whether shell acceleration is active.
 func (x *Index) Accelerated() bool { return x.shellIx != nil }
+
+// PruningMode selects how much bound-based work-skipping the query path
+// performs. Every mode returns bit-identical results; the modes differ
+// only in the work a query reports having done, which is what the
+// paper-faithful ablations measure.
+type PruningMode = core.PruningMode
+
+const (
+	// PruneAll enables layer pruning and, when shell tables are present
+	// (Options.Shells / SetShellPruning), spherical-shell intra-layer
+	// pruning too. The default.
+	PruneAll = core.PruneAll
+	// PruneLayersOnly keeps layer pruning but disables shell pruning —
+	// the ablation isolating the shells' contribution.
+	PruneLayersOnly = core.PruneLayersOnly
+	// PruneNothing evaluates every record of every accessed layer, the
+	// paper-faithful baseline.
+	PruneNothing = core.PruneNothing
+)
+
+// ParsePruningMode parses "all", "layers" or "none" (the String forms)
+// into a PruningMode; the empty string means PruneAll.
+func ParsePruningMode(s string) (PruningMode, error) { return core.ParsePruningMode(s) }
+
+// SetPruningMode selects the bound-based pruning behavior of subsequent
+// queries. Not safe to call concurrently with queries.
+func (x *Index) SetPruningMode(m PruningMode) { x.ix.SetPruningMode(m) }
+
+// PruningMode reports the current pruning mode.
+func (x *Index) PruningMode() PruningMode { return x.ix.PruningMode() }
+
+// SetShellPruning enables or disables the spherical-shell index mode
+// (Options.Shells, after the fact): on bucket-orders each layer's
+// columnar slab around its centroid and builds the per-bucket bound
+// tables; off drops them. Results are bit-identical either way. Not
+// safe to call concurrently with queries.
+func (x *Index) SetShellPruning(on bool) { x.ix.SetShellPruning(on) }
+
+// ShellPruning reports whether the spherical-shell index mode is
+// enabled.
+func (x *Index) ShellPruning() bool { return x.ix.ShellPruning() }
 
 // EnableHierarchicalCompaction attaches a per-cluster compactor to an
 // already-built index (the Options.HierarchicalCompaction knob, after

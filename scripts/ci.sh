@@ -27,17 +27,17 @@ echo "== go test -race ./... $*"
 go test -race "$@" ./...
 
 # Coverage floor for the index kernel and the hierarchical compactor.
-# 86.2% is the combined statement coverage of internal/core +
-# internal/hierarchy as of the compaction PR; new code in these two
-# packages must arrive with tests that keep the combined figure at or
-# above it.
-echo "== coverage gate: internal/core + internal/hierarchy (floor 86.2%)"
+# 88.5% is just under the combined statement coverage of internal/core
+# + internal/hierarchy as of the shell-pruning PR (89.0%); new code in
+# these two packages must arrive with tests that keep the combined
+# figure at or above it.
+echo "== coverage gate: internal/core + internal/hierarchy (floor 88.5%)"
 cover_out="$(mktemp)"
 go test -coverprofile="$cover_out" ./internal/core ./internal/hierarchy
 total="$(go tool cover -func="$cover_out" | tail -1 | awk '{print $NF}' | tr -d '%')"
 rm -f "$cover_out"
 echo "combined coverage: ${total}%"
-awk -v t="$total" 'BEGIN { if (t+0 < 86.2) { print "coverage gate: " t "% is below the 86.2% floor" > "/dev/stderr"; exit 1 } }'
+awk -v t="$total" 'BEGIN { if (t+0 < 88.5) { print "coverage gate: " t "% is below the 88.5% floor" > "/dev/stderr"; exit 1 } }'
 
 # Replica divergence under fault injection, raced: a replica that
 # misses an acked write must vanish from the read rotation until a
@@ -60,6 +60,8 @@ echo "== fuzz: FuzzTopNWeights (5s)"
 go test -run='^$' -fuzz=FuzzTopNWeights -fuzztime=5s ./internal/core
 echo "== fuzz: FuzzHierarchyPersistRoundTrip (5s)"
 go test -run='^$' -fuzz=FuzzHierarchyPersistRoundTrip -fuzztime=5s ./internal/hierarchy
+echo "== fuzz: FuzzShellBucketBound (5s)"
+go test -run='^$' -fuzz=FuzzShellBucketBound -fuzztime=5s ./internal/core
 
 # Parallel-build determinism smoke: a small -build-scaling sweep exits
 # non-zero if any worker count produces a different layer partition
@@ -83,6 +85,17 @@ go run ./cmd/onionbench -build-scaling -n 8000 -build-workers 1,4 -build-out "$s
 # full-size (100k-point) run of the same gate.
 echo "== query path equivalence smoke (onionbench -query-scaling)"
 go run ./cmd/onionbench -query-scaling -n 3000 -queries 32 -query-workers 1,4 -query-out "$query_out"
+
+# Shell-pruning smoke at a corpus size where the angular buckets do
+# real skipping: the same bit-equivalence gate (shells solo + batched
+# against legacy, with and without an active delta buffer, plus the
+# brute-force oracle) over a 10k corpus at top-10 only, so it stays
+# seconds. The committed BENCH_query.json is the 100k run whose
+# headline records the shells records-evaluated cut.
+echo "== shell pruning equivalence smoke (onionbench -query-scaling, 10k)"
+shells_out="$(mktemp)"
+go run ./cmd/onionbench -query-scaling -n 10000 -queries 24 -query-workers 1,4 -query-topns 10 -query-out "$shells_out"
+rm -f "$shells_out"
 
 # Result-cache equivalence smoke: a small -cache-scaling run gates the
 # cached path (prefix serving off deeper entries, singleflight

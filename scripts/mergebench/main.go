@@ -1,0 +1,67 @@
+// Command mergebench folds several onionbench summary JSON files —
+// typically one -query-scaling run per GOMAXPROCS setting, as emitted
+// by scripts/run_benches.sh — into a single document, so one committed
+// file captures a whole host sweep instead of N loose ones. Each input
+// is embedded verbatim (its own schema is authoritative) and keyed by
+// the gomaxprocs it reports.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+type entry struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	File       string          `json:"file"`
+	Summary    json.RawMessage `json:"summary"`
+}
+
+func main() {
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: mergebench OUT.json IN.json [IN.json...]")
+		os.Exit(2)
+	}
+	merged := struct {
+		Kind      string  `json:"kind"`
+		Generated string  `json:"generated"`
+		Sweeps    []entry `json:"sweeps"`
+	}{Kind: "onion-bench-sweep", Generated: time.Now().UTC().Format(time.RFC3339)}
+	for _, path := range os.Args[2:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		var probe struct {
+			GOMAXPROCS int `json:"gomaxprocs"`
+		}
+		if err := json.Unmarshal(data, &probe); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		merged.Sweeps = append(merged.Sweeps, entry{
+			GOMAXPROCS: probe.GOMAXPROCS,
+			File:       filepath.Base(path),
+			Summary:    json.RawMessage(data),
+		})
+	}
+	sort.SliceStable(merged.Sweeps, func(i, j int) bool {
+		return merged.Sweeps[i].GOMAXPROCS < merged.Sweeps[j].GOMAXPROCS
+	})
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(os.Args[1], append(out, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("merged %d summaries into %s\n", len(merged.Sweeps), os.Args[1])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mergebench:", err)
+	os.Exit(1)
+}
