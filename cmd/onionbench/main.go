@@ -76,6 +76,9 @@ var (
 	compRoundsFlag   = flag.Int("compaction-rounds", 2, "compaction-scaling: folds measured per configuration")
 	compOutFlag      = flag.String("compaction-out", "BENCH_compact.json", "compaction-scaling: summary JSON output path")
 
+	coldstartFlag    = flag.Bool("coldstart", false, "measure mmap-backed serving instead of running experiments: restart-to-first-query (v1 decode vs v2 mmap, clean checkpoints) and sustained queries under a resident budget 1/8th of the checkpoint; gates mmap ≡ heap ≡ brute force first, emits -coldstart-out JSON")
+	coldstartOutFlag = flag.String("coldstart-out", "BENCH_mmap.json", "coldstart: summary JSON output path")
+
 	serveLoadFlag = flag.String("serve-load", "", "load-test a query server instead of running experiments: a base URL like http://host:8080, or 'self' to serve a synthetic corpus in-process")
 	serveConcFlag = flag.Int("serve-conc", 16, "serve-load: concurrent clients")
 	serveDurFlag  = flag.Duration("serve-dur", 10*time.Second, "serve-load: measurement duration")
@@ -185,6 +188,13 @@ func main() {
 			}
 		})
 		compactionScaling(sizes, *compDeltasFlag, *compClustersFlag, *compRoundsFlag, *compOutFlag)
+		return
+	}
+	if *coldstartFlag {
+		// The acceptance run is paper scale (the restart speedup is only
+		// meaningful when the decode is corpus-sized), so the committed
+		// baseline uses the full -n default; -n/-queries shrink for CI.
+		coldstart(n, queries, *coldstartOutFlag)
 		return
 	}
 	if *serveLoadFlag != "" {

@@ -81,16 +81,22 @@ type queryHeadline struct {
 
 // queryScalingSummary is the BENCH_query.json schema.
 type queryScalingSummary struct {
-	Kind            string            `json:"kind"`
-	Generated       string            `json:"generated"`
-	Dist            string            `json:"dist"`
-	Seed            int64             `json:"seed"`
-	Queries         int               `json:"queries"`
-	NumCPU          int               `json:"num_cpu"`
-	GOMAXPROCS      int               `json:"gomaxprocs"`
-	Workers         []int             `json:"workers"`
-	TopNs           []int             `json:"topns"`
-	BatchSizes      []int             `json:"batch_sizes"`
+	Kind       string `json:"kind"`
+	Generated  string `json:"generated"`
+	Dist       string `json:"dist"`
+	Seed       int64  `json:"seed"`
+	Queries    int    `json:"queries"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    []int  `json:"workers"`
+	TopNs      []int  `json:"topns"`
+	BatchSizes []int  `json:"batch_sizes"`
+	// ServingMode records what backs the measured slabs. The sweep
+	// builds its indexes in process, so this is always "heap" here; the
+	// field exists so BENCH_query.json and BENCH_mmap.json (which
+	// measures the mmap mode) are directly comparable.
+	ServingMode     string            `json:"serving_mode"`
+	ResidentBudget  int64             `json:"resident_budget_bytes,omitempty"`
 	Runs            []queryScalingRun `json:"runs"`
 	IdenticalOutput bool              `json:"identical_output"`
 	Headline        *queryHeadline    `json:"headline,omitempty"`
@@ -148,6 +154,7 @@ func queryScaling(n, queries int, workerList, topNList, outPath string) {
 		Workers:         workers,
 		TopNs:           topNs,
 		BatchSizes:      batchSizes,
+		ServingMode:     "heap",
 		IdenticalOutput: true,
 	}
 

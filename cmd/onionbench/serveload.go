@@ -40,10 +40,15 @@ type serveLoadReport struct {
 	Concurrency int     `json:"concurrency"`
 	DurationS   float64 `json:"duration_s"`
 	TopN        int     `json:"topn"`
-	Requests    int64   `json:"requests"`
-	Errors      int64   `json:"errors"`
-	QPS         float64 `json:"qps"`
-	LatencyMS   struct {
+	// ServingMode records how the target served its slabs — "heap" or
+	// "mmap" (scraped from /v1/metrics) — with the mmap resident budget,
+	// so a committed report can't silently mix storage modes.
+	ServingMode    string  `json:"serving_mode"`
+	ResidentBudget int64   `json:"resident_budget_bytes,omitempty"`
+	Requests       int64   `json:"requests"`
+	Errors         int64   `json:"errors"`
+	QPS            float64 `json:"qps"`
+	LatencyMS      struct {
 		P50  float64 `json:"p50"`
 		P90  float64 `json:"p90"`
 		P99  float64 `json:"p99"`
@@ -180,8 +185,17 @@ func serveLoad(target string, n, conc int, dur time.Duration, topn int, outPath 
 	rep.LatencyMS.P99 = ms(pct(0.99))
 	rep.LatencyMS.Max = ms(all[len(all)-1])
 	rep.LatencyMS.Mean = ms(sum / time.Duration(len(all)))
+	rep.ServingMode = "heap" // self-hosted corpora and pre-mmap servers
 	if raw, err := getRaw(baseURL + "/v1/metrics"); err == nil {
 		rep.ServerMetrics = raw
+		var sm struct {
+			ServingMode    string `json:"serving_mode"`
+			ResidentBudget int64  `json:"resident_budget_bytes"`
+		}
+		if json.Unmarshal(raw, &sm) == nil && sm.ServingMode != "" {
+			rep.ServingMode = sm.ServingMode
+			rep.ResidentBudget = sm.ResidentBudget
+		}
 	}
 
 	fmt.Printf("%d requests in %.1fs (%d errors): %.0f qps\n",

@@ -36,6 +36,10 @@
 // batch is group-committed to a write-ahead log before its snapshot is
 // published, and restart recovers the newest checkpoint plus the log's
 // valid prefix (see internal/wal and the README's Durability section).
+// Adding -mmap serves the recovered checkpoint straight from a memory
+// mapping: restart skips the decode entirely and layer extents page in
+// on first touch, with -resident-budget bounding the page-cache
+// footprint for corpora larger than RAM (mmap_* on /v1/metrics).
 // SIGINT/SIGTERM drain active requests, flush pending mutations, and
 // checkpoint the final snapshot (or persist it with -save-on-exit).
 package main
@@ -86,6 +90,8 @@ var (
 	clustersFlag = flag.Int("compaction-clusters", 0, "cluster count for -hier-compaction (0 = ~4096 records per cluster, capped at 256)")
 	shellsFlag   = flag.Bool("shells", false, "enable spherical-shell intra-layer pruning (paper §6): bucket-order each layer around its centroid and skip angular buckets that cannot reach the top-N; answers are bit-identical, shells_* metrics report the saving")
 	pruningFlag  = flag.String("pruning", "all", "bound-based pruning mode: all, layers (no shell pruning), none (paper-faithful full evaluation)")
+	mmapFlag     = flag.Bool("mmap", false, "with -data-dir: serve the recovered checkpoint from a memory mapping instead of decoding it onto the heap — restart is open+map+replay, and the OS pages layer extents in on demand (bit-identical answers; mmap_* metrics report the paging)")
+	budgetFlag   = flag.Int64("resident-budget", 0, "with -mmap: advise extents out (madvise DONTNEED, LRU over layers) once the mapped checkpoint's resident bytes exceed this budget; 0 = unlimited")
 )
 
 func main() {
@@ -124,7 +130,12 @@ func main() {
 	ix.SetParallelism(*parFlag)
 	log.Printf("index ready: %d records, %d attributes, %d layers", ix.Len(), ix.Dim(), ix.NumLayers())
 	if *hierFlag {
-		if ix.Len() == 0 {
+		if ix.ClusterCompactor() != nil {
+			// The checkpoint carried the cluster assignment (v2 aux blob):
+			// it re-attached during recovery with no k-means and no
+			// re-peel, so skip the from-scratch Attach entirely.
+			log.Print("hier-compaction: cluster assignment restored from checkpoint")
+		} else if ix.Len() == 0 {
 			log.Print("hier-compaction: corpus empty, compacting flat until restart with data")
 		} else {
 			start := time.Now()
@@ -168,6 +179,12 @@ func main() {
 	srv := server.New(ix, cfg)
 	if mgr != nil {
 		srv.AttachVars("wal", mgr.Vars())
+		if mv := mgr.MmapVars(); mv != nil {
+			srv.AttachVars("mmap", mv)
+			srv.SetServingMode("mmap", *budgetFlag)
+			log.Printf("mmap: serving %d bytes of checkpoint extents from the page cache (budget %d)",
+				mgr.Mapped().SizeBytes(), *budgetFlag)
+		}
 	}
 	srv.PublishVars("onionserve") // visible on /debug/vars too, if imported
 
@@ -258,6 +275,8 @@ func openState() (*core.Index, *wal.Manager, error) {
 		Fsync:           mode,
 		CheckpointBytes: *ckptFlag,
 		Options:         core.Options{Seed: *seedFlag, Parallelism: *parFlag},
+		Mmap:            *mmapFlag,
+		ResidentBudget:  *budgetFlag,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("data dir %s: %w", *dataDirFlag, err)

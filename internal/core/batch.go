@@ -75,6 +75,7 @@ func (ix *Index) TopNBatch(weightsList [][]float64, n int) ([][]Result, []Stats,
 				}
 			}
 			if len(group) > 0 {
+				ix.noteLayerAccess(k)
 				layer := ix.layers[k]
 				sl := ix.slab(k)
 				switch {

@@ -67,7 +67,7 @@ func (ix *Index) SetClusterCompactor(cc ClusterCompactor) error {
 	if ix.delta != nil {
 		return fmt.Errorf("core: attach compactor: delta buffer pending; compact first")
 	}
-	if got, want := cc.Len(), len(ix.posOf); got != want {
+	if got, want := cc.Len(), ix.baseLen(); got != want {
 		return fmt.Errorf("core: attach compactor: compactor holds %d records, index holds %d", got, want)
 	}
 	ix.cc = cc
@@ -137,6 +137,8 @@ func (ix *Index) cloneForFold() *Index {
 		layers:    ix.layers,
 		layerOf:   ix.layerOf,
 		posOf:     ix.posOf,
+		posLazy:   ix.posLazy,
+		recLazy:   ix.recLazy,
 		free:      ix.free,
 		tol:       ix.tol,
 		seed:      ix.seed,
@@ -148,6 +150,7 @@ func (ix *Index) cloneForFold() *Index {
 		noShells:  ix.noShells,
 		shellMode: ix.shellMode,
 		shellTabs: ix.shellTabs,
+		slabSrc:   ix.slabSrc,
 		cc:        ix.cc,
 		shared:    true,
 	}

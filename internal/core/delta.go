@@ -127,7 +127,7 @@ func (ix *Index) deltaHas(id uint64) bool {
 			return false
 		}
 	}
-	_, ok := ix.posOf[id]
+	_, ok := ix.posMap()[id]
 	return ok
 }
 
@@ -206,7 +206,7 @@ func (ix *Index) DeleteDelta(ids []uint64, missingOK bool) (int, error) {
 			d.recs = d.recs[:last]
 			delete(d.byID, id)
 		} else {
-			p := ix.posOf[id]
+			p := ix.posMap()[id]
 			d.dead[id] = true
 			d.deadPos[p] = true
 		}
@@ -249,6 +249,8 @@ func (ix *Index) CloneDelta() *Index {
 		layers:    ix.layers,
 		layerOf:   ix.layerOf,
 		posOf:     ix.posOf,
+		posLazy:   ix.posLazy,
+		recLazy:   ix.recLazy,
 		free:      ix.free,
 		tol:       ix.tol,
 		seed:      ix.seed,
@@ -260,6 +262,7 @@ func (ix *Index) CloneDelta() *Index {
 		noShells:  ix.noShells,
 		shellMode: ix.shellMode,
 		shellTabs: ix.shellTabs,
+		slabSrc:   ix.slabSrc,
 		cc:        ix.cc,
 		shared:    true,
 	}

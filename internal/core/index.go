@@ -74,6 +74,16 @@ type Index struct {
 	layers  [][]int     // layers[k] = positions in layer k+1 (0-based here)
 	layerOf []int       // position -> layer index, -1 for freed positions
 	posOf   map[uint64]int
+	// posLazy defers posOf for FromColumnar indexes (columnar.go): nil
+	// posOf with non-nil posLazy means the map materializes on first
+	// use. Invariant: posOf == nil ⟺ posLazy != nil.
+	posLazy *lazyPos
+	// recLazy likewise defers pts and layerOf for FromColumnar indexes:
+	// both are pure functions of the slabs, and the layer walk never
+	// reads them, so a restart skips their O(n) fill. Invariant:
+	// recLazy != nil ⟺ pts == nil on a non-empty index; read through
+	// recViews()/layerOfPos(), mutate only after materializeRecs().
+	recLazy *lazyRecs
 	free    []int // freed positions available for reuse
 	tol     float64
 	seed    int64
@@ -93,6 +103,11 @@ type Index struct {
 	// shared by clones, dropped whenever the slabs drop.
 	shellMode bool
 	shellTabs []shellTable
+
+	// Paging observer of the mmap serving mode (see columnar.go):
+	// notified before each layer evaluation so the backing store can
+	// advise and budget the layer's extents. nil = heap behavior.
+	slabSrc SlabSource
 
 	// Incremental write path (see delta.go): pending unlayered
 	// mutations merged into every query, and the shared-base marker
@@ -329,7 +344,7 @@ func (ix *Index) Dim() int { return ix.dim }
 // Len returns the number of live records, looking through any pending
 // delta: tombstoned base records are excluded, delta inserts included.
 func (ix *Index) Len() int {
-	n := len(ix.posOf)
+	n := ix.baseLen()
 	if ix.delta != nil {
 		n += len(ix.delta.recs) - len(ix.delta.dead)
 	}
@@ -354,9 +369,10 @@ func (ix *Index) LayerSizes() []int {
 
 // Layer returns the records of 0-based layer k, in storage order.
 func (ix *Index) Layer(k int) []Record {
+	pts, _ := ix.recViews()
 	out := make([]Record, len(ix.layers[k]))
 	for i, p := range ix.layers[k] {
-		out[i] = Record{ID: ix.ids[p], Vector: ix.pts[p]}
+		out[i] = Record{ID: ix.ids[p], Vector: pts[p]}
 	}
 	return out
 }
@@ -373,11 +389,11 @@ func (ix *Index) LayerOf(id uint64) (int, bool) {
 			return 0, false
 		}
 	}
-	p, ok := ix.posOf[id]
+	p, ok := ix.posMap()[id]
 	if !ok {
 		return 0, false
 	}
-	return ix.layerOf[p], true
+	return ix.layerOfPos(p), true
 }
 
 // Vector returns the attribute vector of the record with the given ID,
@@ -391,11 +407,27 @@ func (ix *Index) Vector(id uint64) ([]float64, bool) {
 			return nil, false
 		}
 	}
-	p, ok := ix.posOf[id]
+	p, ok := ix.posMap()[id]
 	if !ok {
 		return nil, false
 	}
-	return ix.pts[p], true
+	pts, _ := ix.recViews()
+	return pts[p], true
+}
+
+// BaseVector returns the attribute vector of a layered base record,
+// ignoring any pending delta: a record tombstoned in the delta still
+// resolves, a delta insert does not. This is the lookup a rehydrated
+// cluster spec needs — the spec describes the checkpoint base, and it
+// materializes lazily, possibly after the delta has buffered deletes
+// of the very records it must re-layer.
+func (ix *Index) BaseVector(id uint64) ([]float64, bool) {
+	p, ok := ix.posMap()[id]
+	if !ok {
+		return nil, false
+	}
+	pts, _ := ix.recViews()
+	return pts[p], true
 }
 
 // Joggled reports whether any layer's hull needed the perturbation
@@ -408,12 +440,13 @@ func (ix *Index) Joggled() bool { return ix.joggled }
 func (ix *Index) Records() []Record {
 	out := make([]Record, 0, ix.Len())
 	dead := ix.deadPosSet()
+	pts, _ := ix.recViews()
 	for _, layer := range ix.layers {
 		for _, p := range layer {
 			if dead != nil && dead[p] {
 				continue
 			}
-			out = append(out, Record{ID: ix.ids[p], Vector: ix.pts[p]})
+			out = append(out, Record{ID: ix.ids[p], Vector: pts[p]})
 		}
 	}
 	if ix.delta != nil {

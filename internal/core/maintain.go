@@ -44,6 +44,8 @@ func (ix *Index) Insert(rec Record) error {
 	if err := ix.mutable(); err != nil {
 		return err
 	}
+	ix.materializePosOf()
+	ix.materializeRecs()
 	if len(rec.Vector) != ix.dim {
 		return fmt.Errorf("core: insert dimension %d, want %d", len(rec.Vector), ix.dim)
 	}
@@ -70,6 +72,8 @@ func (ix *Index) InsertBatch(recs []Record) error {
 	if err := ix.mutable(); err != nil {
 		return err
 	}
+	ix.materializePosOf()
+	ix.materializeRecs()
 	// Records must be grouped by target layer so one cascade handles all
 	// of them; locating first, before any mutation, keeps the search
 	// consistent.
@@ -122,6 +126,8 @@ func (ix *Index) Delete(id uint64) error {
 	if err := ix.mutable(); err != nil {
 		return err
 	}
+	ix.materializePosOf()
+	ix.materializeRecs()
 	pos, ok := ix.posOf[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotFound, id)
@@ -151,6 +157,8 @@ func (ix *Index) DeleteBatch(ids []uint64) error {
 	if err := ix.mutable(); err != nil {
 		return err
 	}
+	ix.materializePosOf()
+	ix.materializeRecs()
 	if len(ids) == 0 {
 		return nil
 	}
@@ -261,6 +269,8 @@ func (ix *Index) Update(id uint64, vector []float64) error {
 	if err := ix.mutable(); err != nil {
 		return err
 	}
+	ix.materializePosOf()
+	ix.materializeRecs()
 	if len(vector) != ix.dim {
 		return fmt.Errorf("core: update dimension %d, want %d", len(vector), ix.dim)
 	}

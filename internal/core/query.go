@@ -320,6 +320,10 @@ func (s *Searcher) advance() bool {
 	if s.tryPrune() {
 		return s.drainCandidates()
 	}
+	// This layer will be evaluated: give the paging seam (mmap mode) its
+	// chance to advise the layer's extents in. Pruned layers never get
+	// here, so skipped scoring is skipped I/O too.
+	ix.noteLayerAccess(s.k)
 	layer := ix.layers[s.k]
 	if s.remain > 0 {
 		// Shell evaluation needs a bounded keep so the collector can fill
@@ -454,11 +458,12 @@ func (s *Searcher) layerScores(layer []int) []float64 {
 		}
 		return scores
 	}
+	pts, _ := ix.recViews()
 	if workers > 1 && n >= scoreParallelMin {
 		weights := s.weights
 		parallel.For(n, workers, scoreParallelMin, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				v := ix.pts[layer[i]]
+				v := pts[layer[i]]
 				var score float64
 				for j, wj := range weights {
 					score += wj * v[j]
@@ -468,7 +473,7 @@ func (s *Searcher) layerScores(layer []int) []float64 {
 		})
 	} else {
 		for i, p := range layer {
-			v := ix.pts[p]
+			v := pts[p]
 			var score float64
 			for j, wj := range s.weights {
 				score += wj * v[j]
@@ -614,7 +619,7 @@ func (s *Searcher) finishLayer(evaluated int, deadMax float64, haveDead bool) {
 }
 
 func (s *Searcher) result(it topk.Item) Result {
-	return Result{ID: s.ix.ids[it.ID], Score: it.Score, Layer: s.ix.layerOf[it.ID]}
+	return Result{ID: s.ix.ids[it.ID], Score: it.Score, Layer: s.ix.layerOfPos(it.ID)}
 }
 
 // Score computes weights·vector for an arbitrary record by ID, looking

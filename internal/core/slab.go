@@ -110,6 +110,10 @@ func (ix *Index) BuildSlabs() {
 // record-walk. Exists so benchmarks and the CI equivalence gate can
 // compare the paths on one index; call BuildSlabs to restore.
 func (ix *Index) DropSlabs() {
+	// Deferred record views (columnar.go) are rebuilt FROM the slabs;
+	// materialize them while the slabs are still here or the fallback
+	// record-walk would have nothing to read.
+	ix.materializeRecs()
 	ix.slabs = nil
 	ix.shellTabs = nil
 }
@@ -126,11 +130,13 @@ func (ix *Index) slab(k int) *layerSlab {
 }
 
 // invalidateSlabs drops derived columnar state (slabs and shell tables)
-// on mutation. Shared slabs are never written, so clones holding the
-// same backing arrays are unaffected.
+// on mutation, along with the paging observer that described those
+// slabs' on-disk extents. Shared slabs are never written, so clones
+// holding the same backing arrays are unaffected.
 func (ix *Index) invalidateSlabs() {
 	ix.slabs = nil
 	ix.shellTabs = nil
+	ix.slabSrc = nil
 }
 
 // boundSlack returns the safety margin added to a layer's score bound

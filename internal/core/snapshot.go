@@ -15,13 +15,16 @@ package core
 // carried over — maintenance would invalidate it anyway; call
 // EnableSortedColumns on the clone if needed.
 func (ix *Index) Clone() *Index {
+	// A deep clone owns eager record views; forcing the receiver's
+	// deferred ones (columnar.go) is safe — the lazy build never
+	// mutates logical state.
+	pts, layerOf := ix.recViews()
 	cp := &Index{
 		dim:     ix.dim,
-		pts:     append([][]float64(nil), ix.pts...),
+		pts:     append([][]float64(nil), pts...),
 		ids:     append([]uint64(nil), ix.ids...),
 		layers:  make([][]int, len(ix.layers)),
-		layerOf: append([]int(nil), ix.layerOf...),
-		posOf:   make(map[uint64]int, len(ix.posOf)),
+		layerOf: append([]int(nil), layerOf...),
 		free:    append([]int(nil), ix.free...),
 		tol:     ix.tol,
 		seed:    ix.seed,
@@ -38,6 +41,9 @@ func (ix *Index) Clone() *Index {
 		// slabs, and they share the slabs' lifecycle.
 		shellMode: ix.shellMode,
 		shellTabs: ix.shellTabs,
+		// The paging observer describes the shared slab backing, so the
+		// clone keeps it until a mutation detaches both together.
+		slabSrc: ix.slabSrc,
 		// The hierarchical compactor is immutable (folds return a
 		// successor), so it too is shared by reference.
 		cc: ix.cc,
@@ -45,8 +51,19 @@ func (ix *Index) Clone() *Index {
 	for k, l := range ix.layers {
 		cp.layers[k] = append([]int(nil), l...)
 	}
-	for id, p := range ix.posOf {
-		cp.posOf[id] = p
+	// A deep clone owns an eager position map. When the receiver's map
+	// is deferred (FromColumnar load), build the clone's straight from
+	// ids — every position is live there — without forcing the receiver.
+	if ix.posOf != nil {
+		cp.posOf = make(map[uint64]int, len(ix.posOf))
+		for id, p := range ix.posOf {
+			cp.posOf[id] = p
+		}
+	} else {
+		cp.posOf = make(map[uint64]int, len(ix.ids))
+		for i, id := range ix.ids {
+			cp.posOf[id] = i
+		}
 	}
 	// The clone owns its base arrays again (shared is deliberately not
 	// carried over), and any pending delta is deep-copied with it.

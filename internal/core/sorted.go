@@ -32,10 +32,11 @@ func (ix *Index) EnableSortedColumns() {
 	for _, layer := range ix.layers {
 		live = append(live, layer...)
 	}
+	pts, _ := ix.recViews()
 	for j := 0; j < ix.dim; j++ {
 		p := make([]int, len(live))
 		copy(p, live)
-		sort.SliceStable(p, func(a, b int) bool { return ix.pts[p[a]][j] > ix.pts[p[b]][j] })
+		sort.SliceStable(p, func(a, b int) bool { return pts[p[a]][j] > pts[p[b]][j] })
 		sc.perm[j] = p
 	}
 	ix.sorted = sc
@@ -68,6 +69,7 @@ func (ix *Index) topNSorted(weights []float64, axis, n int) ([]Result, Stats) {
 		n = len(perm)
 	}
 	out := make([]Result, 0, n)
+	pts, _ := ix.recViews()
 	for i := 0; i < n; i++ {
 		pos := perm[i]
 		if w < 0 {
@@ -75,8 +77,8 @@ func (ix *Index) topNSorted(weights []float64, axis, n int) ([]Result, Stats) {
 		}
 		out = append(out, Result{
 			ID:    ix.ids[pos],
-			Score: w * ix.pts[pos][axis],
-			Layer: ix.layerOf[pos],
+			Score: w * pts[pos][axis],
+			Layer: ix.layerOfPos(pos),
 		})
 	}
 	return out, Stats{RecordsEvaluated: n, LayersAccessed: 0}

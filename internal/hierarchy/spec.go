@@ -1,0 +1,279 @@
+package hierarchy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Compactor persistence. A checkpoint that loses the cluster assignment
+// forces the next restart to re-run k-means and re-peel every cluster
+// before the first fold — exactly the corpus-sized work hierarchical
+// compaction exists to avoid. EncodeSpec captures everything Fold needs
+// that cannot be recomputed cheaply and deterministically from the
+// serving index: the fixed cluster centers, the per-cluster layer
+// partition (as record IDs in layer order), and the build options the
+// children were peeled with. Vectors are NOT stored — the serving
+// checkpoint already has them, and DecodeSpec reads them back by ID.
+//
+// The decoded compactor is lazy: it holds only the spec plus a vector
+// lookup, satisfies the attachment contract (Len), and materializes the
+// real per-cluster Onions on first Fold — so a restart that never folds
+// never pays the re-peel either.
+
+// specMagic identifies an encoded compactor spec (version 1).
+var specMagic = [8]byte{'O', 'N', 'I', 'O', 'N', 'C', 'C', '1'}
+
+// ErrBadSpec reports a spec blob that cannot be decoded.
+var ErrBadSpec = errors.New("hierarchy: bad compactor spec")
+
+// EncodeSpec serializes the compactor's cluster assignment and build
+// options. Layer IDs are written in each child's exact layer order so a
+// decode rebuilds bit-identical children via core.FromLayers.
+func (c *Compactor) EncodeSpec() ([]byte, error) {
+	var buf []byte
+	buf = append(buf, specMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.children)))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.bopt.Tol))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.bopt.Seed))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.bopt.MaxLayers))
+	flags := uint32(0)
+	if c.bopt.Shells {
+		flags |= 1
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, flags)
+	for _, center := range c.centers {
+		if len(center) != c.dim {
+			return nil, fmt.Errorf("hierarchy: center dimension %d, want %d", len(center), c.dim)
+		}
+		for _, v := range center {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	for cl, child := range c.children {
+		if child == nil {
+			buf = binary.LittleEndian.AppendUint32(buf, 0)
+			continue
+		}
+		if child.HasDelta() {
+			return nil, fmt.Errorf("hierarchy: encode spec: cluster %d has a pending delta", cl)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(child.NumLayers()))
+		for l := 0; l < child.NumLayers(); l++ {
+			recs := child.Layer(l)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+			for _, r := range recs {
+				buf = binary.LittleEndian.AppendUint64(buf, r.ID)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// IsSpec reports whether buf starts with the compactor-spec magic,
+// letting checkpoint readers distinguish "no compactor was attached"
+// from "aux blob of some future kind".
+func IsSpec(buf []byte) bool {
+	return len(buf) >= len(specMagic) && string(buf[:len(specMagic)]) == string(specMagic[:])
+}
+
+// VectorSource resolves a record ID to its attribute vector — in
+// practice the just-loaded serving index. The returned slice is aliased,
+// never written.
+type VectorSource interface {
+	Vector(id uint64) ([]float64, bool)
+}
+
+// decodedSpec is the parsed wire form.
+type decodedSpec struct {
+	dim     int
+	bopt    core.Options
+	centers [][]float64
+	// layers[cl][l] lists cluster cl's layer-l record IDs in layer order.
+	layers  [][][]uint64
+	records int
+}
+
+func parseSpec(buf []byte) (*decodedSpec, error) {
+	if !IsSpec(buf) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSpec)
+	}
+	r := specReader{buf: buf, off: len(specMagic)}
+	dim := int(r.u32())
+	k := int(r.u32())
+	s := &decodedSpec{dim: dim}
+	s.bopt.Tol = math.Float64frombits(r.u64())
+	s.bopt.Seed = int64(r.u64())
+	s.bopt.MaxLayers = int(r.u32())
+	s.bopt.Shells = r.u32()&1 != 0
+	if r.err != nil || dim <= 0 || k <= 0 || dim > 1<<20 || k > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible header", ErrBadSpec)
+	}
+	s.centers = make([][]float64, k)
+	for cl := range s.centers {
+		center := make([]float64, dim)
+		for i := range center {
+			center[i] = math.Float64frombits(r.u64())
+		}
+		s.centers[cl] = center
+	}
+	s.layers = make([][][]uint64, k)
+	for cl := range s.layers {
+		numLayers := int(r.u32())
+		if r.err != nil || numLayers < 0 || numLayers > 1<<24 {
+			return nil, fmt.Errorf("%w: implausible layer count", ErrBadSpec)
+		}
+		layers := make([][]uint64, numLayers)
+		for l := range layers {
+			count := int(r.u32())
+			if r.err != nil || count <= 0 || count > 1<<28 {
+				return nil, fmt.Errorf("%w: implausible layer size", ErrBadSpec)
+			}
+			ids := make([]uint64, count)
+			for i := range ids {
+				ids[i] = r.u64()
+			}
+			layers[l] = ids
+			s.records += count
+		}
+		s.layers[cl] = layers
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated", ErrBadSpec)
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSpec, len(buf)-r.off)
+	}
+	return s, nil
+}
+
+type specReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *specReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.err = ErrBadSpec
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *specReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.err = ErrBadSpec
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Rehydrated is a compactor restored from a spec. It attaches like the
+// original (Len matches the checkpointed record set) but defers
+// rebuilding the per-cluster Onions until the first Fold, reading
+// vectors back from the serving index by ID. No k-means runs at any
+// point: the centers and the membership come from the spec.
+type Rehydrated struct {
+	spec *decodedSpec
+	raw  []byte // original encoding, returned verbatim by EncodeSpec
+	src  VectorSource
+	par  int // parallelism for materialized children
+}
+
+// DecodeSpec parses a spec and binds it to a vector source. The
+// parallelism argument replaces the (machine-specific, unserialized)
+// Build.Parallelism of the original compactor.
+func DecodeSpec(buf []byte, src VectorSource, parallelism int) (*Rehydrated, error) {
+	s, err := parseSpec(buf)
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("hierarchy: decode spec: nil vector source")
+	}
+	return &Rehydrated{
+		spec: s,
+		raw:  append([]byte(nil), buf...),
+		src:  src,
+		par:  parallelism,
+	}, nil
+}
+
+// Len implements core.ClusterCompactor.
+func (rh *Rehydrated) Len() int { return rh.spec.records }
+
+// NumClusters mirrors Compactor.NumClusters.
+func (rh *Rehydrated) NumClusters() int { return len(rh.spec.centers) }
+
+// EncodeSpec returns the original spec bytes, so a checkpoint written
+// after a fold-free restart round-trips the assignment untouched.
+func (rh *Rehydrated) EncodeSpec() ([]byte, error) {
+	return append([]byte(nil), rh.raw...), nil
+}
+
+// Materialize rebuilds the real compactor: per-cluster Onions from the
+// stored layer partitions (core.FromLayers — the exact peel, no hull
+// work) with vectors resolved through the bound source.
+func (rh *Rehydrated) Materialize() (*Compactor, error) {
+	s := rh.spec
+	bopt := s.bopt
+	bopt.Parallelism = rh.par
+	c := &Compactor{
+		dim:      s.dim,
+		bopt:     bopt,
+		centers:  s.centers,
+		children: make([]*core.Index, len(s.centers)),
+		owner:    make(map[uint64]int, s.records),
+	}
+	for cl, layerIDs := range s.layers {
+		if len(layerIDs) == 0 {
+			continue
+		}
+		layers := make([][]core.Record, len(layerIDs))
+		for l, ids := range layerIDs {
+			recs := make([]core.Record, len(ids))
+			for i, id := range ids {
+				v, ok := rh.src.Vector(id)
+				if !ok {
+					return nil, fmt.Errorf("hierarchy: rehydrate cluster %d: record %d not in index", cl, id)
+				}
+				if len(v) != s.dim {
+					return nil, fmt.Errorf("hierarchy: rehydrate cluster %d: record %d has dimension %d, want %d", cl, id, len(v), s.dim)
+				}
+				if prev, dup := c.owner[id]; dup {
+					return nil, fmt.Errorf("hierarchy: rehydrate: record %d in clusters %d and %d", id, prev, cl)
+				}
+				c.owner[id] = cl
+				recs[i] = core.Record{ID: id, Vector: v}
+			}
+			layers[l] = recs
+		}
+		child, err := core.FromLayers(layers, bopt)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: rehydrate cluster %d: %w", cl, err)
+		}
+		c.children[cl] = child
+	}
+	c.stats = FoldStats{Clusters: len(c.children)}
+	return c, nil
+}
+
+// Fold implements core.ClusterCompactor: materialize, then delegate.
+// The successor is a real *Compactor, so the lazy shim lives for at
+// most one fold.
+func (rh *Rehydrated) Fold(inserts []core.Record, deletes []uint64) (core.ClusterCompactor, [][]core.Record, error) {
+	c, err := rh.Materialize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.Fold(inserts, deletes)
+}

@@ -1,0 +1,178 @@
+package hierarchy
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// mapSource is the simplest VectorSource: a plain ID→vector map.
+type mapSource map[uint64][]float64
+
+func (m mapSource) Vector(id uint64) ([]float64, bool) {
+	v, ok := m[id]
+	return v, ok
+}
+
+func specFixture(t testing.TB, n int, seed int64) (*Compactor, []core.Record, mapSource) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := randRecords(rng, 1, n, 3)
+	c, err := NewCompactor(recs, CompactorOptions{Clusters: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make(mapSource, len(recs))
+	for _, r := range recs {
+		src[r.ID] = r.Vector
+	}
+	return c, recs, src
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	c, _, src := specFixture(t, 300, 5)
+	raw, err := c.EncodeSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSpec(raw) {
+		t.Fatal("encoded spec fails IsSpec")
+	}
+	rh, err := DecodeSpec(raw, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Len() != c.Len() || rh.NumClusters() != c.NumClusters() {
+		t.Fatalf("rehydrated shape: %d records / %d clusters, want %d / %d",
+			rh.Len(), rh.NumClusters(), c.Len(), c.NumClusters())
+	}
+	again, err := rh.EncodeSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again) {
+		t.Fatal("rehydrated spec re-encodes differently")
+	}
+	// Materializing rebuilds the real compactor WITHOUT k-means: same
+	// centers, same ownership, same per-cluster layering — so its spec
+	// is byte-identical too.
+	mc, err := rh.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := mc.EncodeSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, mat) {
+		t.Fatal("materialized compactor encodes a different spec")
+	}
+}
+
+func TestSpecFoldEquivalence(t *testing.T) {
+	c, _, src := specFixture(t, 300, 9)
+	raw, err := c.EncodeSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := DecodeSpec(raw, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	inserts := randRecords(rng, 10_001, 12, 3)
+	deletes := []uint64{3, 77, 150, 299}
+
+	fold := func(cc core.ClusterCompactor, ins []core.Record, del []uint64) (core.ClusterCompactor, string) {
+		t.Helper()
+		next, layers, err := cc.Fold(ins, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := core.FromLayers(layers, core.Options{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return next, ix.Fingerprint()
+	}
+	// First fold: the rehydrated compactor (materialize + delegate)
+	// must produce the same layer partition as the never-persisted one.
+	// (Successor specs are compared structurally via a second fold, not
+	// byte-wise: intra-layer ID order legitimately differs between
+	// build-order and canonical-order children.)
+	next1, wantFP := fold(c, inserts, deletes)
+	next2, gotFP := fold(rh, inserts, deletes)
+	if wantFP != gotFP {
+		t.Fatalf("rehydrated fold diverged: %s vs %s", gotFP, wantFP)
+	}
+	// Second fold: both successors are full compactors now; they must
+	// keep converging on identical partitions.
+	more := randRecords(rng, 20_001, 9, 3)
+	_, wantFP2 := fold(next1, more, []uint64{10, 42})
+	_, gotFP2 := fold(next2, more, []uint64{10, 42})
+	if wantFP2 != gotFP2 {
+		t.Fatalf("second fold diverged: %s vs %s", gotFP2, wantFP2)
+	}
+}
+
+func TestSpecDecodeErrors(t *testing.T) {
+	c, _, src := specFixture(t, 120, 13)
+	raw, err := c.EncodeSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if IsSpec([]byte("ONIONIX\x02")) || IsSpec(raw[:4]) {
+		t.Error("IsSpec accepts non-spec bytes")
+	}
+	if _, err := DecodeSpec([]byte("not a spec at all"), src, 0); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("garbage: got %v, want ErrBadSpec", err)
+	}
+	for _, cut := range []int{9, 20, len(raw) / 2, len(raw) - 3} {
+		if _, err := DecodeSpec(raw[:cut], src, 0); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("truncation at %d: got %v, want ErrBadSpec", cut, err)
+		}
+	}
+	if _, err := DecodeSpec(append(append([]byte(nil), raw...), 0xAB), src, 0); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("trailing byte: got %v, want ErrBadSpec", err)
+	}
+}
+
+func TestSpecMaterializeValidatesSource(t *testing.T) {
+	c, recs, src := specFixture(t, 100, 17)
+	raw, err := c.EncodeSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A source missing a spec'd record must fail the materialization.
+	missing := make(mapSource, len(src))
+	for id, v := range src {
+		missing[id] = v
+	}
+	delete(missing, recs[10].ID)
+	rh, err := DecodeSpec(raw, missing, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rh.Materialize(); err == nil {
+		t.Fatal("materialize succeeded with a record missing from the source")
+	}
+
+	// A source serving the wrong dimensionality must fail too.
+	short := make(mapSource, len(src))
+	for id, v := range src {
+		short[id] = v[:2]
+	}
+	rh2, err := DecodeSpec(raw, short, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rh2.Materialize(); err == nil {
+		t.Fatal("materialize succeeded with dimension-mismatched vectors")
+	}
+}

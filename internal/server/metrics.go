@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
 
@@ -41,6 +42,21 @@ type metrics struct {
 	walCommitErrors  expvar.Int // batches failed (and unpublished) by the WAL
 	compactions      expvar.Int // background delta folds published
 	compactionErrors expvar.Int // folds abandoned (cascade or replay failure)
+
+	// predictedPageReads accumulates the paper's Eq. 2 analytic I/O cost
+	// over served queries: DefaultRandomWeight per layer accessed plus
+	// the evaluated records' pages. Reported next to records_evaluated /
+	// shells_records_skipped so the model can be compared against the
+	// mmap store's measured extent touches (predicted ≥ actual whenever
+	// an extent holds more than one predicted page, since pruning skips
+	// I/O at extent granularity).
+	predictedPageReads expvar.Float
+	servingMode        expvar.String // "heap" or "mmap"
+	residentBudget     expvar.Int    // -resident-budget, 0 = unlimited
+
+	// dim is the served index's dimension, fixed for the server's life;
+	// Eq. 2 needs it to turn evaluated records into pages.
+	dim int
 
 	topnLatency      *telemetry.Histogram
 	batchLatency     *telemetry.Histogram // whole-batch latency of /v1/topn/batch
@@ -83,6 +99,10 @@ func newMetrics() *metrics {
 	v.Set("wal_commit_errors", &m.walCommitErrors)
 	v.Set("compactions", &m.compactions)
 	v.Set("compaction_errors", &m.compactionErrors)
+	m.servingMode.Set("heap")
+	v.Set("predicted_page_reads", &m.predictedPageReads)
+	v.Set("serving_mode", &m.servingMode)
+	v.Set("resident_budget_bytes", &m.residentBudget)
 	v.Set("topn_latency_ms", expvar.Func(func() any { return m.topnLatency.Summary() }))
 	v.Set("batch_latency_ms", expvar.Func(func() any { return m.batchLatency.Summary() }))
 	v.Set("search_latency_ms", expvar.Func(func() any { return m.searchLatency.Summary() }))
@@ -123,6 +143,7 @@ func (m *metrics) observeQuery(st core.Stats, d time.Duration, h *telemetry.Hist
 	m.layersPruned.Add(int64(st.LayersPruned))
 	m.shellsSkipped.Add(int64(st.RecordsSkippedByShells))
 	m.shellsLayers.Add(int64(st.ShellLayers))
+	m.predictedPageReads.Add(storage.EstimateCost(st.LayersAccessed, st.RecordsEvaluated, m.dim))
 	if h != nil { // batch queries time the whole batch, not each member
 		h.Observe(d)
 	}
@@ -130,6 +151,18 @@ func (m *metrics) observeQuery(st core.Stats, d time.Duration, h *telemetry.Hist
 
 // Vars exposes the metric map (for embedding servers and for tests).
 func (s *Server) Vars() *expvar.Map { return s.metrics.vars }
+
+// SetServingMode records how the snapshot's slabs are backed — "heap"
+// (the default) or "mmap" — and the configured resident budget, so
+// /v1/metrics and benchmark reports can attribute their numbers to the
+// right storage mode. Purely informational; call before serving.
+func (s *Server) SetServingMode(mode string, residentBudget int64) {
+	s.metrics.servingMode.Set(mode)
+	s.metrics.residentBudget.Set(residentBudget)
+}
+
+// ServingMode returns the mode recorded by SetServingMode.
+func (s *Server) ServingMode() string { return s.metrics.servingMode.Value() }
 
 // AttachVars nests an extra metric group (e.g. the WAL manager's
 // counters) under the given name, so it appears on /v1/metrics next to

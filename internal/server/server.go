@@ -205,6 +205,7 @@ func New(ix *core.Index, cfg Config) *Server {
 	}
 	s.metrics.attachCache(s.cache)
 	s.metrics.attachSnapshot(func() *core.Index { return s.snap.Load() })
+	s.metrics.dim = ix.Dim()
 	// Pruning configuration is applied once here; clones (deep, shallow
 	// and compacted alike) inherit the mode and the rebuilt structures,
 	// so every published snapshot serves with the same behavior. Shells

@@ -33,6 +33,12 @@ func WriteFS(fsys vfs.FS, path string, ix *core.Index) error {
 	if err != nil {
 		return err
 	}
+	return writeFileAtomic(fsys, path, data)
+}
+
+// writeFileAtomic is the shared atomic-replace tail of WriteFS and
+// WriteV2FS: temp → fsync → rename → fsync directory.
+func writeFileAtomic(fsys vfs.FS, path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package storage
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package storage
+
+// raceEnabled lets tests that need real mmap (incompatible with the race
+// detector's shadow memory over MAP_SHARED file pages) skip themselves.
+const raceEnabled = true

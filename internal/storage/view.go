@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Zero-copy extent views. The v2 extents store float64 bits and int64
+// positions little-endian; on a native little-endian, 64-bit platform
+// (every production target here) a page-aligned extent IS the in-memory
+// representation of the []float64 / []int slice the query kernels want,
+// so the load path reinterprets instead of decoding. Each view guards
+// its own preconditions at runtime — endianness, word size, alignment —
+// and callers fall back to a decoding copy when a guard fails, keeping
+// the format portable (a big-endian or 32-bit build still loads v2
+// files, just without the zero-copy economics).
+
+// nativeLittleEndian reports the runtime byte order.
+var nativeLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// intIs64 reports whether int shares int64's representation, making a
+// stored-int64 extent directly viewable as []int.
+const intIs64 = unsafe.Sizeof(int(0)) == 8
+
+// float64sView reinterprets b's first 8n bytes as []float64 in place.
+func float64sView(b []byte, n int) ([]float64, bool) {
+	if !nativeLittleEndian || n <= 0 || len(b) < n*8 {
+		return nil, false
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(float64(0)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*float64)(p), n), true
+}
+
+// intsView reinterprets b's first 8n bytes (stored int64) as []int.
+func intsView(b []byte, n int) ([]int, bool) {
+	if !nativeLittleEndian || !intIs64 || n <= 0 || len(b) < n*8 {
+		return nil, false
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%unsafe.Alignof(int(0)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*int)(p), n), true
+}
+
+// decodeFloat64s is the portable fallback: copy-decode n floats.
+func decodeFloat64s(b []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// decodeInts is the portable fallback for position extents; it rejects
+// values a 32-bit int cannot hold instead of silently truncating.
+func decodeInts(b []byte, n int) ([]int, error) {
+	out := make([]int, n)
+	for i := range out {
+		v := int64(binary.LittleEndian.Uint64(b[8*i:]))
+		if int64(int(v)) != v {
+			return nil, fmt.Errorf("position %d overflows int", v)
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package vfs
+
+import "fmt"
+
+// Memory-mapping seam. The mmap serving mode (storage.MappedV2) reads
+// checkpoint slabs straight out of the page cache instead of decoding
+// them onto the heap, but the crash-recovery torture tests run against
+// CrashFS, which has no real file to map. Mapper is therefore an
+// OPTIONAL extension of FS: filesystems that can hand out real mappings
+// implement it (OS does, on platforms with mmap); everything else —
+// CrashFS included — is served by MapFile's read-into-heap fallback,
+// which satisfies the same Mapping contract with ordinary allocated
+// bytes. Callers never branch on the platform: the fallback differs
+// only in residency economics, not in behavior, so every durability
+// test exercises the exact v2 load path production uses.
+
+// Advice mirrors the posix_madvise/madvise hints the mmap serving mode
+// issues: SEQUENTIAL ahead of a layer-extent scan, DONTNEED when the
+// resident-bytes budget forces an extent out. Implementations without
+// an madvise (the heap fallback) treat every hint as a no-op.
+type Advice int
+
+const (
+	// AdviceNormal clears any special access pattern.
+	AdviceNormal Advice = iota
+	// AdviceSequential declares an imminent front-to-back scan of the
+	// range, letting the OS read ahead aggressively and drop pages
+	// behind the scan.
+	AdviceSequential
+	// AdviceWillNeed asks the OS to start paging the range in.
+	AdviceWillNeed
+	// AdviceDontNeed tells the OS the range is evictable now — the
+	// mmap mode's lever for honoring a resident-bytes budget. The
+	// mapping stays valid; a later access simply refaults the pages.
+	AdviceDontNeed
+)
+
+// Mapping is one read-only mapped file. Bytes stays valid until Close;
+// writes through it are forbidden (the OS implementation maps the file
+// PROT_READ, so a write faults — the same contract the heap fallback
+// cannot enforce but every caller must honor).
+type Mapping interface {
+	// Bytes returns the mapped content. The slice aliases the file
+	// (or, in the fallback, a private heap copy) and must be treated
+	// as immutable.
+	Bytes() []byte
+	// Advise applies an access-pattern hint to bytes [off, off+length).
+	// Offsets are rounded outward to page boundaries as the platform
+	// requires; unsupported hints are silently ignored.
+	Advise(off, length int, advice Advice) error
+	// Close releases the mapping. The Bytes slice is invalid after
+	// Close on a real mapping; callers that publish views into it must
+	// keep the mapping open for as long as any reader lives.
+	Close() error
+}
+
+// Mapper is the optional FS extension providing real memory mappings.
+type Mapper interface {
+	// Map maps the named file read-only in its entirety.
+	Map(name string) (Mapping, error)
+}
+
+// MapFile maps name through fsys when it implements Mapper, and
+// otherwise falls back to reading the file into a heap Mapping with
+// no-op advice — the path CrashFS (and any future non-mmap platform)
+// takes, keeping the v2 load code identical either way.
+func MapFile(fsys FS, name string) (Mapping, error) {
+	if m, ok := fsys.(Mapper); ok {
+		return m.Map(name)
+	}
+	data, err := fsys.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return &heapMapping{data: data}, nil
+}
+
+// heapMapping is the portable fallback: a private copy of the file.
+type heapMapping struct {
+	data   []byte
+	closed bool
+}
+
+func (h *heapMapping) Bytes() []byte { return h.data }
+
+func (h *heapMapping) Advise(off, length int, _ Advice) error {
+	if off < 0 || length < 0 || off+length > len(h.data) {
+		return fmt.Errorf("vfs: advise range [%d, %d) outside mapping of %d bytes", off, off+length, len(h.data))
+	}
+	return nil
+}
+
+func (h *heapMapping) Close() error {
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,87 @@
+//go:build linux
+
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Map implements Mapper for the production filesystem: a read-only
+// shared mapping of the whole file. MAP_SHARED (rather than private)
+// keeps the pages backed by the file itself, so AdviceDontNeed simply
+// drops clean pages and a later access refaults them from disk — the
+// behavior the resident-budget eviction relies on.
+func (OS) Map(name string) (Mapping, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &osMapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("vfs: %s is %d bytes, too large to map on this platform", name, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("vfs: mmap %s: %w", name, err)
+	}
+	return &osMapping{data: data}, nil
+}
+
+type osMapping struct {
+	data []byte
+}
+
+func (m *osMapping) Bytes() []byte { return m.data }
+
+func (m *osMapping) Advise(off, length int, advice Advice) error {
+	if off < 0 || length < 0 || off+length > len(m.data) {
+		return fmt.Errorf("vfs: advise range [%d, %d) outside mapping of %d bytes", off, off+length, len(m.data))
+	}
+	if length == 0 || len(m.data) == 0 {
+		return nil
+	}
+	// madvise wants page-aligned start addresses; round the range
+	// outward so a hint about an extent covers every page it touches.
+	page := os.Getpagesize()
+	lo := off - off%page
+	hi := off + length
+	if rem := hi % page; rem != 0 {
+		hi += page - rem
+	}
+	if hi > len(m.data) {
+		hi = len(m.data)
+	}
+	var sys int
+	switch advice {
+	case AdviceNormal:
+		sys = syscall.MADV_NORMAL
+	case AdviceSequential:
+		sys = syscall.MADV_SEQUENTIAL
+	case AdviceWillNeed:
+		sys = syscall.MADV_WILLNEED
+	case AdviceDontNeed:
+		sys = syscall.MADV_DONTNEED
+	default:
+		return nil
+	}
+	return syscall.Madvise(m.data[lo:hi], sys)
+}
+
+func (m *osMapping) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package vfs
+
+// Map on platforms without a wired-up mmap falls back to the same heap
+// mapping MapFile uses for non-Mapper filesystems: identical contract,
+// no residency control. Serving still works; only the beyond-RAM
+// economics are lost.
+func (OS) Map(name string) (Mapping, error) {
+	data, err := OS{}.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return &heapMapping{data: data}, nil
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hierarchy"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/vfs"
@@ -79,6 +80,21 @@ type Config struct {
 	// use for subsequent maintenance. Must match the options of the
 	// index whose mutations were logged, or replay determinism is lost.
 	Options core.Options
+	// CheckpointV1 writes checkpoints in the legacy v1 paged format
+	// instead of the default v2 extent format. v1 checkpoints cannot be
+	// memory-mapped and drop the compactor aux blob; the option exists
+	// for format-migration tests and as a rollback lever. Reading is
+	// always version-sniffed, so either format recovers regardless.
+	CheckpointV1 bool
+	// Mmap serves the recovered checkpoint from a memory mapping
+	// (storage.MappedV2) instead of decoding it onto the heap: restart
+	// is open + map + WAL replay, with vector extents paged in on
+	// demand. A v1 checkpoint encountered under Mmap falls back to the
+	// decode path (and the next rotation migrates it to v2).
+	Mmap bool
+	// ResidentBudget caps the mapped checkpoint's accounted resident
+	// extent bytes (0 = unlimited). Only meaningful with Mmap.
+	ResidentBudget int64
 }
 
 // DefaultCheckpointBytes is the automatic checkpoint threshold when
@@ -111,6 +127,14 @@ type Manager struct {
 	seq     uint64
 	wal     vfs.File
 	walSize int64
+
+	// mapped is the mmap-backed checkpoint the recovered index serves
+	// from, when Config.Mmap found a v2 checkpoint. Set once during
+	// Open, before the manager escapes to other goroutines. The mapping
+	// is deliberately NOT unmapped by Close: published snapshots (and
+	// their clones) alias its pages for the life of the process, and a
+	// stale read through an unmapped extent is a fault, not an error.
+	mapped *storage.MappedV2
 
 	// metrics, all monotonic unless noted.
 	records         atomic.Int64 // mutations appended
@@ -211,11 +235,54 @@ func sortedDesc(seqs []uint64) []uint64 {
 }
 
 // loadCheckpoint reads checkpoint seq into a mutable index, preserving
-// the stored layer partition.
+// the stored layer partition. Both formats load: v2 via the columnar
+// path (mapped when Config.Mmap is set and the filesystem allows it,
+// decoded otherwise), v1 via the legacy record decode. Any error —
+// corruption, bad aux, unmappable file — bubbles up so Open falls back
+// to the previous epoch, with one exception: a v1 file under Mmap is
+// not an error, it is a pre-migration checkpoint, and it loads through
+// the decode path (the next rotation rewrites it as v2).
 func (m *Manager) loadCheckpoint(seq uint64) (*core.Index, error) {
-	data, err := m.fs.ReadFile(filepath.Join(m.dir, checkpointName(seq)))
+	path := filepath.Join(m.dir, checkpointName(seq))
+	if m.cfg.Mmap {
+		mp, err := storage.OpenMappedV2FS(m.fs, path, m.cfg.ResidentBudget)
+		switch {
+		case err == nil:
+			ix, ierr := mp.Index(m.cfg.Options)
+			if ierr == nil {
+				ierr = m.attachAux(ix, mp.Aux())
+			}
+			if ierr != nil {
+				mp.Close()
+				return nil, fmt.Errorf("wal: checkpoint %d: %w", seq, ierr)
+			}
+			m.checkpointBytes.Store(mp.SizeBytes())
+			m.mapped = mp
+			return ix, nil
+		case errors.Is(err, storage.ErrBadVersion):
+			// v1 checkpoint: fall through to the decode path below.
+		default:
+			return nil, fmt.Errorf("wal: checkpoint %d: %w", seq, err)
+		}
+	}
+	data, err := m.fs.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	ver, err := storage.FormatVersion(data)
+	if err != nil {
+		return nil, fmt.Errorf("wal: checkpoint %d: %w", seq, err)
+	}
+	if ver == 2 {
+		ix, aux, lerr := storage.LoadV2Bytes(data, m.cfg.Options)
+		if lerr == nil {
+			lerr = m.attachAux(ix, aux)
+		}
+		if lerr != nil {
+			return nil, fmt.Errorf("wal: checkpoint %d: %w", seq, lerr)
+		}
+		m.checkpointBytes.Store(int64(len(data)))
+		return ix, nil
 	}
 	if len(data)%storage.PageSize != 0 {
 		return nil, fmt.Errorf("wal: checkpoint %d: size %d not page aligned", seq, len(data))
@@ -238,6 +305,40 @@ func (m *Manager) loadCheckpoint(seq uint64) (*core.Index, error) {
 	}
 	return core.FromLayers(layers, m.cfg.Options)
 }
+
+// attachAux re-attaches state carried in the checkpoint's aux blob —
+// today, the hierarchical compactor's cluster assignment. A restart
+// that finds a spec re-attaches it lazily (no k-means, no re-peel; the
+// per-cluster Onions rebuild from the spec on the first fold). An aux
+// blob that fails to decode is checkpoint corruption: recovery must
+// fall back to the previous epoch rather than silently serve without
+// the compactor it durably had.
+func (m *Manager) attachAux(ix *core.Index, aux []byte) error {
+	if len(aux) == 0 {
+		return nil
+	}
+	if !hierarchy.IsSpec(aux) {
+		return fmt.Errorf("%w: unrecognized aux blob", storage.ErrCorrupt)
+	}
+	// The spec describes the checkpoint BASE and materializes lazily —
+	// possibly after delta mutations have buffered deletes of base
+	// records — so its vector source must bypass the delta lookthrough.
+	rh, err := hierarchy.DecodeSpec(aux, baseVectors{ix}, ix.Parallelism())
+	if err != nil {
+		return fmt.Errorf("%w: compactor spec: %v", storage.ErrCorrupt, err)
+	}
+	if err := ix.SetClusterCompactor(rh); err != nil {
+		return fmt.Errorf("%w: compactor spec: %v", storage.ErrCorrupt, err)
+	}
+	return nil
+}
+
+// baseVectors adapts an index into the hierarchy.VectorSource a
+// rehydrated spec resolves record IDs against: base records only (see
+// attachAux).
+type baseVectors struct{ ix *core.Index }
+
+func (b baseVectors) Vector(id uint64) ([]float64, bool) { return b.ix.BaseVector(id) }
 
 // recoverLog replays the current epoch's log into ix, truncates any
 // torn tail, and leaves the manager with an open append handle.
@@ -467,8 +568,26 @@ func (m *Manager) rotateLocked(ix *core.Index) error {
 		}
 		ix = folded
 	}
-	if err := storage.WriteFS(m.fs, cpPath, ix); err != nil {
-		return fmt.Errorf("wal: checkpoint %d: %w", next, err)
+	if m.cfg.CheckpointV1 {
+		if err := storage.WriteFS(m.fs, cpPath, ix); err != nil {
+			return fmt.Errorf("wal: checkpoint %d: %w", next, err)
+		}
+	} else {
+		// v2 checkpoints persist the hierarchical compactor's cluster
+		// assignment as the aux blob, so a restart re-attaches it instead
+		// of re-running k-means and re-peeling every cluster.
+		var aux []byte
+		if cc := ix.ClusterCompactor(); cc != nil {
+			if enc, ok := cc.(interface{ EncodeSpec() ([]byte, error) }); ok {
+				var err error
+				if aux, err = enc.EncodeSpec(); err != nil {
+					return fmt.Errorf("wal: checkpoint %d: encode compactor: %w", next, err)
+				}
+			}
+		}
+		if err := storage.WriteV2FS(m.fs, cpPath, ix, aux); err != nil {
+			return fmt.Errorf("wal: checkpoint %d: %w", next, err)
+		}
 	}
 	if data, err := m.fs.ReadFile(cpPath); err == nil {
 		m.checkpointBytes.Store(int64(len(data)))
@@ -495,6 +614,20 @@ func (m *Manager) rotateLocked(ix *core.Index) error {
 	m.checkpoints.Add(1)
 	m.ckptLatency.Observe(time.Since(start))
 	return nil
+}
+
+// Mapped returns the mmap-backed checkpoint store the recovered index
+// serves from, or nil when serving from the heap (no Config.Mmap, or
+// the recovered checkpoint was v1).
+func (m *Manager) Mapped() *storage.MappedV2 { return m.mapped }
+
+// MmapVars exposes the mapped store's paging metrics, or nil when
+// serving from the heap.
+func (m *Manager) MmapVars() expvar.Var {
+	if m.mapped == nil {
+		return nil
+	}
+	return m.mapped.Vars()
 }
 
 // Seq returns the live checkpoint epoch (0 before Bootstrap).

@@ -26,6 +26,14 @@ go vet ./...
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
 
+# The race build intercepts memory through the shadow map, so the
+# real-mmap tests (unsafe views over a syscall.Mmap region) skip
+# themselves there. Rerun them without -race so CI still exercises the
+# actual mapping: open, zero-copy serving, budget eviction, corrupt-file
+# rejection. The heap decode of the same v2 bytes IS raced above.
+echo "== real mmap serving tests (no -race)"
+go test -count=1 -run 'TestMappedV2' ./internal/storage
+
 # Coverage floor for the index kernel and the hierarchical compactor.
 # 88.5% is just under the combined statement coverage of internal/core
 # + internal/hierarchy as of the shell-pruning PR (89.0%); new code in
@@ -62,6 +70,8 @@ echo "== fuzz: FuzzHierarchyPersistRoundTrip (5s)"
 go test -run='^$' -fuzz=FuzzHierarchyPersistRoundTrip -fuzztime=5s ./internal/hierarchy
 echo "== fuzz: FuzzShellBucketBound (5s)"
 go test -run='^$' -fuzz=FuzzShellBucketBound -fuzztime=5s ./internal/core
+echo "== fuzz: FuzzCheckpointV2RoundTrip (5s)"
+go test -run='^$' -fuzz=FuzzCheckpointV2RoundTrip -fuzztime=5s ./internal/storage
 
 # Parallel-build determinism smoke: a small -build-scaling sweep exits
 # non-zero if any worker count produces a different layer partition
@@ -136,5 +146,17 @@ echo "== hierarchical compaction equivalence smoke (onionbench -compaction-scali
 compact_out="$(mktemp)"
 go run ./cmd/onionbench -compaction-scaling -n 10000 -compaction-deltas 64,512 -compaction-rounds 1 -compaction-out "$compact_out"
 rm -f "$compact_out"
+
+# Mmap cold-start smoke: a 10k-point -coldstart run gates mmap ≡ heap ≡
+# brute-force answers at worker counts 1 and 4 before timing, measures
+# restart-to-first-query both ways, and drives queries under a resident
+# budget 1/8th of the checkpoint (so eviction really happens). The
+# speedup floor is only asserted at full size; here the gate is the
+# equivalence oracle and that the pipeline runs end to end. The
+# committed BENCH_mmap.json is the 1M run.
+echo "== mmap cold-start equivalence smoke (onionbench -coldstart, 10k)"
+cold_out="$(mktemp)"
+go run ./cmd/onionbench -coldstart -n 10000 -queries 100 -coldstart-out "$cold_out"
+rm -f "$cold_out"
 
 echo "CI OK"
